@@ -1,0 +1,271 @@
+// Package faaspipe's root benchmarks regenerate every table, figure,
+// and quantified claim of the paper; see EXPERIMENTS.md for the
+// mapping. Latency/cost results are reported as benchmark metrics
+// (virtual seconds and USD), since the simulated pipeline's wall-clock
+// is the quantity the paper reports, not Go CPU time.
+package faaspipe
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+	"github.com/faaspipe/faaspipe/internal/calib"
+	"github.com/faaspipe/faaspipe/internal/experiments"
+	"github.com/faaspipe/faaspipe/internal/methcomp"
+)
+
+// BenchmarkTable1PurelyServerless regenerates the first row of
+// Table 1: the METHCOMP pipeline with the all-to-all shuffle through
+// object storage (paper: 83.32 s, $0.008).
+func BenchmarkTable1PurelyServerless(b *testing.B) {
+	benchPipeline(b, experiments.PurelyServerless)
+}
+
+// BenchmarkTable1VMSupported regenerates the second row of Table 1:
+// the sort staged through a bx2-8x32 instance (paper: 142.77 s,
+// $0.010).
+func BenchmarkTable1VMSupported(b *testing.B) {
+	benchPipeline(b, experiments.VMSupported)
+}
+
+func benchPipeline(b *testing.B, kind experiments.StrategyKind) {
+	profile := calib.Paper()
+	var run experiments.PipelineRun
+	for i := 0; i < b.N; i++ {
+		var err error
+		run, err = experiments.RunPipeline(profile, kind,
+			experiments.PaperDataBytes, experiments.PaperWorkers)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(run.Latency.Seconds(), "virtual-s")
+	b.ReportMetric(run.CostUSD, "usd")
+}
+
+// BenchmarkThreeWayExchange extends Table 1 with the cache-supported
+// exchange the paper's §1 motivates (ElastiCache-style): all four
+// strategies on the same pipeline at paper scale.
+func BenchmarkThreeWayExchange(b *testing.B) {
+	for _, kind := range []experiments.StrategyKind{
+		experiments.PurelyServerless,
+		experiments.VMSupported,
+		experiments.CacheSupported,
+		experiments.CacheSupportedWarm,
+	} {
+		b.Run(kind.String(), func(b *testing.B) {
+			benchPipeline(b, kind)
+		})
+	}
+}
+
+// BenchmarkShuffleWorkerSweep regenerates the worker-count sweep
+// behind Figure 1 / the §2.2 claim: shuffle latency is U-shaped in
+// the number of functions.
+func BenchmarkShuffleWorkerSweep(b *testing.B) {
+	profile := calib.Paper()
+	for _, w := range []int{1, 4, 8, 16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var res experiments.WorkerSweepResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = experiments.WorkerSweep(profile, experiments.PaperDataBytes, []int{w})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Rows[0].Measured.Seconds(), "virtual-s")
+			b.ReportMetric(res.Rows[0].Predicted.Seconds(), "model-s")
+		})
+	}
+}
+
+// BenchmarkSizeSweep regenerates the dataset-size ablation: where the
+// serverless advantage goes as VM boot amortizes.
+func BenchmarkSizeSweep(b *testing.B) {
+	profile := calib.Paper()
+	for _, size := range []int64{500e6, 3500e6, 16000e6} {
+		b.Run(fmt.Sprintf("gb=%.1f", float64(size)/1e9), func(b *testing.B) {
+			var res experiments.SizeSweepResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = experiments.SizeSweep(profile, []int64{size}, experiments.PaperWorkers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			row := res.Rows[0]
+			b.ReportMetric(row.Serverless.Seconds(), "serverless-s")
+			b.ReportMetric(row.VM.Seconds(), "vm-s")
+			b.ReportMetric(row.VM.Seconds()/row.Serverless.Seconds(), "speedup")
+		})
+	}
+}
+
+// BenchmarkMethcompVsGzip regenerates the §2.1 claim: METHCOMP
+// compresses methylation data about an order of magnitude better than
+// gzip. Reported metrics are the compression ratios.
+func BenchmarkMethcompVsGzip(b *testing.B) {
+	recs := bed.Generate(bed.GenConfig{Records: 200000, Seed: 42, Sorted: true})
+	b.Run("methcomp", func(b *testing.B) {
+		raw := len(bed.Marshal(recs))
+		var size int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			comp, err := methcomp.Compress(recs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = len(comp)
+		}
+		b.ReportMetric(float64(raw)/float64(size), "ratio")
+	})
+	b.Run("gzip", func(b *testing.B) {
+		raw := len(bed.Marshal(recs))
+		var size int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			size, err = methcomp.GzipSize(recs)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(raw)/float64(size), "ratio")
+	})
+}
+
+// BenchmarkStoreOpsThrottle regenerates the §1 claim that object
+// storage sustains only a few thousand operations/s regardless of
+// client count.
+func BenchmarkStoreOpsThrottle(b *testing.B) {
+	profile := calib.Paper()
+	for _, clients := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			var res experiments.ThrottleResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = experiments.StoreThrottle(profile, []int{clients}, 200)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Rows[0].AchievedOps, "ops/s")
+		})
+	}
+}
+
+// BenchmarkHierarchicalShuffle is the two-level exchange ablation:
+// one-level vs hierarchical shuffle latency at the paper's parallelism
+// and at a large fan-out where the request-count savings dominate.
+func BenchmarkHierarchicalShuffle(b *testing.B) {
+	profile := calib.Paper()
+	for _, w := range []int{8, 128} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var res experiments.HierResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = experiments.HierarchySweep(profile, experiments.PaperDataBytes, []int{w})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Rows[0].OneLevel.Seconds(), "one-level-s")
+			b.ReportMetric(res.Rows[0].TwoLevel.Seconds(), "two-level-s")
+		})
+	}
+}
+
+// BenchmarkFaultMitigation is the fault-injection ablation: the
+// shuffle's makespan under 5% container failures and 15% stragglers,
+// per mitigation policy.
+func BenchmarkFaultMitigation(b *testing.B) {
+	profile := calib.Paper()
+	for _, policy := range []experiments.FaultPolicy{
+		experiments.WithRetries,
+		experiments.WithRetriesAndSpeculation,
+	} {
+		b.Run(policy.String(), func(b *testing.B) {
+			var res experiments.FaultResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = experiments.FaultTolerance(profile,
+					experiments.PaperDataBytes, experiments.PaperWorkers, []float64{0.05})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, row := range res.Rows {
+				if row.Policy == policy && row.Succeeded {
+					b.ReportMetric(row.Latency.Seconds(), "virtual-s")
+					b.ReportMetric(float64(row.Retries), "retries")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMemorySweep is the function-memory ablation behind the
+// paper's 2 GB allocation: latency and cost per memory grant.
+func BenchmarkMemorySweep(b *testing.B) {
+	profile := calib.Paper()
+	for _, mem := range []int{512, 2048, 4096} {
+		b.Run(fmt.Sprintf("mb=%d", mem), func(b *testing.B) {
+			var res experiments.MemoryResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = experiments.MemorySweep(profile,
+					experiments.PaperDataBytes, experiments.PaperWorkers, []int{mem})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Rows[0].Latency.Seconds(), "virtual-s")
+			b.ReportMetric(res.Rows[0].CostUSD, "usd")
+		})
+	}
+}
+
+// BenchmarkPlannerRegret quantifies how close the on-the-fly planner
+// lands to the brute-force best worker count at the paper's scale.
+func BenchmarkPlannerRegret(b *testing.B) {
+	profile := calib.Paper()
+	var res experiments.PlannerResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.PlannerRegret(profile,
+			[]int64{experiments.PaperDataBytes}, []int{8, 16, 32, 48, 64, 96})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Rows[0].Regret*100, "regret-%")
+	b.ReportMetric(float64(res.Rows[0].Planned), "planned-workers")
+}
+
+// BenchmarkPlannedVsFixedWorkers is the ablation for Primula's
+// planner: the planned worker count against the paper's fixed
+// parallelism of 8.
+func BenchmarkPlannedVsFixedWorkers(b *testing.B) {
+	profile := calib.Paper()
+	for _, name := range []string{"fixed=8", "planned"} {
+		b.Run(name, func(b *testing.B) {
+			var run experiments.PipelineRun
+			workers := 8
+			if name == "planned" {
+				workers = 0 // SortParams.Workers=0 engages the planner
+			}
+			for i := 0; i < b.N; i++ {
+				var err error
+				run, err = experiments.RunPipeline(profile,
+					experiments.PurelyServerless, experiments.PaperDataBytes, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(run.Latency.Seconds(), "virtual-s")
+			b.ReportMetric(run.CostUSD, "usd")
+		})
+	}
+}

@@ -1,0 +1,184 @@
+// Command faasbench regenerates the paper's table, figure, and
+// in-text claims on the simulated cloud.
+//
+// Usage:
+//
+//	faasbench -experiment table1 [-data 3.5] [-workers 8] [-trace]
+//	faasbench -experiment threeway [-data 3.5] [-workers 8]
+//	faasbench -experiment workersweep [-data 3.5]
+//	faasbench -experiment sizesweep
+//	faasbench -experiment compression
+//	faasbench -experiment throttle
+//	faasbench -experiment faults [-data 3.5] [-workers 8]
+//	faasbench -experiment hierarchy [-data 3.5]
+//	faasbench -experiment memsweep [-data 3.5] [-workers 8]
+//	faasbench -experiment costs [-data 3.5] [-workers 8]
+//	faasbench -experiment planner
+//	faasbench -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/faaspipe/faaspipe/internal/calib"
+	"github.com/faaspipe/faaspipe/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "table1",
+			"one of: table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, all")
+		dataGB  = flag.Float64("data", 3.5, "dataset size in GB")
+		workers = flag.Int("workers", 8, "parallelism degree")
+		trace   = flag.Bool("trace", false, "print per-stage timelines (table1)")
+	)
+	flag.Parse()
+	if err := run(*experiment, *dataGB, *workers, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "faasbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, dataGB float64, workers int, trace bool) error {
+	profile := calib.Paper()
+	dataBytes := int64(dataGB * 1e9)
+
+	table1 := func() error {
+		res, err := experiments.Table1(profile, dataBytes, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		if trace {
+			fmt.Println(res.StageTrace())
+		}
+		return nil
+	}
+	threeway := func() error {
+		res, err := experiments.ThreeWay(profile, dataBytes, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	}
+	workersweep := func() error {
+		res, err := experiments.WorkerSweep(profile, dataBytes,
+			[]int{1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	}
+	sizesweep := func() error {
+		res, err := experiments.SizeSweep(profile,
+			[]int64{500e6, 1000e6, 2000e6, 3500e6, 8000e6, 16000e6}, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	}
+	compression := func() error {
+		res, err := experiments.Compression([]int{10000, 100000, 1000000}, 42)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	}
+	throttle := func() error {
+		res, err := experiments.StoreThrottle(profile, []int{1, 4, 16, 64, 256}, 200)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	}
+	faults := func() error {
+		res, err := experiments.FaultTolerance(profile, dataBytes, workers,
+			[]float64{0, 0.02, 0.05, 0.10})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	}
+	hierarchy := func() error {
+		res, err := experiments.HierarchySweep(profile, dataBytes,
+			[]int{8, 16, 32, 64, 128, 192})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	}
+	memsweep := func() error {
+		res, err := experiments.MemorySweep(profile, dataBytes, workers,
+			[]int{512, 1024, 2048, 3072, 4096})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	}
+	planner := func() error {
+		res, err := experiments.PlannerRegret(profile,
+			[]int64{500e6, 1000e6, 2000e6, 3500e6, 8000e6}, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	}
+	costs := func() error {
+		res, err := experiments.CostBreakdown(profile, dataBytes, workers,
+			[]experiments.StrategyKind{
+				experiments.PurelyServerless, experiments.VMSupported,
+				experiments.CacheSupported, experiments.CacheSupportedWarm,
+			})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	}
+
+	switch experiment {
+	case "table1":
+		return table1()
+	case "threeway":
+		return threeway()
+	case "workersweep":
+		return workersweep()
+	case "sizesweep":
+		return sizesweep()
+	case "compression":
+		return compression()
+	case "throttle":
+		return throttle()
+	case "faults":
+		return faults()
+	case "hierarchy":
+		return hierarchy()
+	case "memsweep":
+		return memsweep()
+	case "costs":
+		return costs()
+	case "planner":
+		return planner()
+	case "all":
+		for _, fn := range []func() error{table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner} {
+			if err := fn(); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+}

@@ -1,0 +1,36 @@
+// Faulttolerance: serverless shuffles run on hundreds of short-lived
+// containers, so transient failures and straggling hosts are routine
+// rather than exceptional. This example injects both into the
+// simulated platform and compares three mitigation policies on the
+// paper's shuffle: no mitigation (one lost container aborts the job),
+// automatic retries, and retries plus Spark-style speculative
+// execution for the straggler tail.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/faaspipe/faaspipe/internal/calib"
+	"github.com/faaspipe/faaspipe/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "faulttolerance:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	res, err := experiments.FaultTolerance(calib.Paper(),
+		experiments.PaperDataBytes, experiments.PaperWorkers,
+		[]float64{0, 0.02, 0.05, 0.10})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	fmt.Println("with w workers a single lost container kills an unmitigated job;")
+	fmt.Println("retries absorb failures, and speculation trims the straggler tail.")
+	return nil
+}

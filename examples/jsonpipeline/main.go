@@ -1,0 +1,100 @@
+// Jsonpipeline: the declarative interface of §2.4 — a workflow
+// defined entirely in a JSON document, loaded, validated, bound to the
+// simulated cloud and executed with the live tracker.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+	"github.com/faaspipe/faaspipe/internal/calib"
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/genomics"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+	"github.com/faaspipe/faaspipe/internal/pipeline"
+	"github.com/faaspipe/faaspipe/internal/progress"
+)
+
+// workflowJSON is the declarative pipeline definition; pass a file
+// path as the first argument to load one from disk instead.
+const workflowJSON = `{
+  "name": "methcomp-from-json",
+  "input": {"bucket": "data", "key": "sample.bed"},
+  "workBucket": "work",
+  "stages": [
+    {"name": "sort", "type": "shuffle", "strategy": "object-storage", "workers": 4},
+    {"name": "encode", "type": "map", "function": "methcomp/encode", "dependsOn": ["sort"]}
+  ]
+}`
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jsonpipeline:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	var (
+		doc *pipeline.Doc
+		err error
+	)
+	if len(args) > 0 {
+		doc, err = pipeline.LoadFile(args[0])
+	} else {
+		doc, err = pipeline.Load([]byte(workflowJSON))
+	}
+	if err != nil {
+		return err
+	}
+
+	rig, err := calib.NewRig(calib.Local())
+	if err != nil {
+		return err
+	}
+	if err := genomics.RegisterFunctions(rig.Platform); err != nil {
+		return err
+	}
+	rig.Exec.AddListener(progress.NewTracker(os.Stdout))
+
+	w, err := doc.Build(pipeline.BuildOptions{
+		Rig: rig,
+		MapInputs: map[string]pipeline.MapInputBuilder{
+			"encode": func(objKey string, i int) any {
+				return &genomics.EncodeTask{
+					Bucket: doc.WorkBucket, Key: objKey,
+					OutBucket: doc.WorkBucket,
+					OutKey:    fmt.Sprintf("compressed/part-%04d.mcz", i),
+					EncodeBps: rig.Profile.EncodeBps, SizedRatio: rig.Profile.EncodeRatio,
+				}
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	recs := bed.Generate(bed.GenConfig{Records: 10000, Seed: 11, Sorted: false})
+	var runErr error
+	rig.Sim.Spawn("driver", func(p *des.Proc) {
+		c := objectstore.NewClient(rig.Store)
+		for _, b := range []string{doc.Input.Bucket, doc.WorkBucket} {
+			if err := c.CreateBucket(p, b); err != nil {
+				runErr = err
+				return
+			}
+		}
+		if err := c.Put(p, doc.Input.Bucket, doc.Input.Key,
+			payload.RealNoCopy(bed.Marshal(recs))); err != nil {
+			runErr = err
+			return
+		}
+		_, runErr = rig.Exec.Run(p, w)
+	})
+	if err := rig.Sim.Run(); err != nil {
+		return err
+	}
+	return runErr
+}

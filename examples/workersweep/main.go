@@ -1,0 +1,33 @@
+// Workersweep: the paper's central claim made visible — shuffle
+// latency through object storage is U-shaped in the number of
+// functions, and Primula's planner lands near the bottom ("object
+// storage is a reasonable choice for data passing when the
+// appropriate number of functions is used").
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/faaspipe/faaspipe/internal/calib"
+	"github.com/faaspipe/faaspipe/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "workersweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	res, err := experiments.WorkerSweep(calib.Paper(), 3500e6,
+		[]int{1, 2, 4, 8, 16, 32, 64, 128})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	fmt.Println("too few functions starve the store's aggregate bandwidth;")
+	fmt.Println("too many drown in per-request latency and the ops throttle.")
+	return nil
+}

@@ -1,0 +1,147 @@
+package bed
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// itemRGB returns the ENCODE display color for a methylation level.
+func itemRGB(methPct int) string {
+	switch {
+	case methPct >= 67:
+		return "255,0,0" // strongly methylated: red
+	case methPct >= 34:
+		return "255,255,0" // intermediate: yellow
+	default:
+		return "0,255,0" // unmethylated: green
+	}
+}
+
+// AppendTSV appends the 11-column bedMethyl TSV encoding of r to dst.
+func AppendTSV(dst []byte, r Record) []byte {
+	dst = append(dst, r.Chrom...)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, r.Start, 10)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, r.End, 10)
+	dst = append(dst, '\t')
+	dst = append(dst, r.Name...)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, int64(r.Score), 10)
+	dst = append(dst, '\t')
+	dst = append(dst, r.Strand)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, r.Start, 10) // thickStart
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, r.End, 10) // thickEnd
+	dst = append(dst, '\t')
+	dst = append(dst, itemRGB(r.MethPct)...)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, int64(r.Coverage), 10)
+	dst = append(dst, '\t')
+	dst = strconv.AppendInt(dst, int64(r.MethPct), 10)
+	dst = append(dst, '\n')
+	return dst
+}
+
+// Marshal renders records as bedMethyl TSV.
+func Marshal(recs []Record) []byte {
+	// Estimate ~48 bytes/record to avoid regrowth.
+	out := make([]byte, 0, len(recs)*48)
+	for _, r := range recs {
+		out = AppendTSV(out, r)
+	}
+	return out
+}
+
+// Write streams records to w in TSV form.
+func Write(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	var line []byte
+	for i, r := range recs {
+		line = AppendTSV(line[:0], r)
+		if _, err := bw.Write(line); err != nil {
+			return fmt.Errorf("bed: write record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseError reports a malformed line with its 1-based line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("bed: line %d: %s", e.Line, e.Msg)
+}
+
+// ParseLine parses one TSV line (without trailing newline).
+func ParseLine(line []byte) (Record, error) {
+	fields := bytes.Split(line, []byte{'\t'})
+	if len(fields) != 11 {
+		return Record{}, fmt.Errorf("want 11 fields, got %d", len(fields))
+	}
+	var r Record
+	r.Chrom = string(fields[0])
+	var err error
+	if r.Start, err = strconv.ParseInt(string(fields[1]), 10, 64); err != nil {
+		return Record{}, fmt.Errorf("start: %v", err)
+	}
+	if r.End, err = strconv.ParseInt(string(fields[2]), 10, 64); err != nil {
+		return Record{}, fmt.Errorf("end: %v", err)
+	}
+	r.Name = string(fields[3])
+	if r.Score, err = strconv.Atoi(string(fields[4])); err != nil {
+		return Record{}, fmt.Errorf("score: %v", err)
+	}
+	if len(fields[5]) != 1 {
+		return Record{}, fmt.Errorf("strand %q", fields[5])
+	}
+	r.Strand = fields[5][0]
+	// fields 6,7 (thickStart/thickEnd) and 8 (itemRgb) are derived;
+	// accept and ignore their values.
+	if r.Coverage, err = strconv.Atoi(string(fields[9])); err != nil {
+		return Record{}, fmt.Errorf("coverage: %v", err)
+	}
+	if r.MethPct, err = strconv.Atoi(string(fields[10])); err != nil {
+		return Record{}, fmt.Errorf("methylation: %v", err)
+	}
+	if err := r.Validate(); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// Parse reads a whole bedMethyl stream. Blank lines are skipped.
+func Parse(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		rec, err := ParseLine(line)
+		if err != nil {
+			return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bed: scan: %w", err)
+	}
+	return recs, nil
+}
+
+// Unmarshal parses records from an in-memory TSV buffer.
+func Unmarshal(data []byte) ([]Record, error) {
+	return Parse(bytes.NewReader(data))
+}

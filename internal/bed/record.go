@@ -1,0 +1,108 @@
+// Package bed models DNA methylation annotation data in the ENCODE
+// bedMethyl format (BED9+2): the input of the METHCOMP pipeline. It
+// provides the record type, a parser and writer for the TSV encoding,
+// genome-order sorting, and a deterministic synthetic generator that
+// stands in for the paper's ENCFF988BSW whole-genome bisulfite sample.
+package bed
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one methylation call: a genomic interval with read
+// coverage and percent methylation, per the ENCODE WGBS standard.
+type Record struct {
+	// Chrom is the chromosome name, e.g. "chr1".
+	Chrom string
+	// Start and End delimit the zero-based half-open interval.
+	Start int64
+	End   int64
+	// Name is the feature name; "." throughout ENCODE files.
+	Name string
+	// Score is min(coverage, 1000) per the bedMethyl convention.
+	Score int
+	// Strand is '+', '-' or '.'.
+	Strand byte
+	// Coverage is the number of reads covering the site.
+	Coverage int
+	// MethPct is the percentage of reads showing methylation (0-100).
+	MethPct int
+}
+
+// Validate checks the record against the bedMethyl constraints.
+func (r Record) Validate() error {
+	if r.Chrom == "" {
+		return fmt.Errorf("bed: empty chrom")
+	}
+	if r.Start < 0 || r.End <= r.Start {
+		return fmt.Errorf("bed: bad interval [%d, %d)", r.Start, r.End)
+	}
+	if r.Score < 0 || r.Score > 1000 {
+		return fmt.Errorf("bed: score %d out of [0, 1000]", r.Score)
+	}
+	if r.Strand != '+' && r.Strand != '-' && r.Strand != '.' {
+		return fmt.Errorf("bed: bad strand %q", string(r.Strand))
+	}
+	if r.Coverage < 0 {
+		return fmt.Errorf("bed: negative coverage %d", r.Coverage)
+	}
+	if r.MethPct < 0 || r.MethPct > 100 {
+		return fmt.Errorf("bed: methylation %d%% out of [0, 100]", r.MethPct)
+	}
+	return nil
+}
+
+// chromRank orders chromosome names in genome order: chr1..chr22,
+// chrX, chrY, chrM, then anything else lexically after.
+func chromRank(chrom string) (int, string) {
+	s := strings.TrimPrefix(chrom, "chr")
+	if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+		return n, ""
+	}
+	switch s {
+	case "X":
+		return 23, ""
+	case "Y":
+		return 24, ""
+	case "M", "MT":
+		return 25, ""
+	}
+	return 26, chrom
+}
+
+// Less orders records in genome order: chromosome rank, then start,
+// then end. This is the sort the pipeline's shuffle stage computes.
+func Less(a, b Record) bool {
+	ra, sa := chromRank(a.Chrom)
+	rb, sb := chromRank(b.Chrom)
+	if ra != rb {
+		return ra < rb
+	}
+	if sa != sb {
+		return sa < sb
+	}
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.End < b.End
+}
+
+// Sort sorts records in place in genome order.
+func Sort(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool { return Less(recs[i], recs[j]) })
+}
+
+// IsSorted reports whether records are in genome order.
+func IsSorted(recs []Record) bool {
+	return sort.SliceIsSorted(recs, func(i, j int) bool { return Less(recs[i], recs[j]) })
+}
+
+// SortKey returns a byte string whose lexicographic order matches
+// genome order; the shuffle operator range-partitions on it.
+func SortKey(r Record) string {
+	rank, extra := chromRank(r.Chrom)
+	return fmt.Sprintf("%02d%s:%012d", rank, extra, r.Start)
+}

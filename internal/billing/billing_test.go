@@ -1,0 +1,138 @@
+package billing
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/faas"
+	"github.com/faaspipe/faaspipe/internal/memcache"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+	"github.com/faaspipe/faaspipe/internal/vm"
+)
+
+func TestCacheCost(t *testing.T) {
+	pb := Default()
+	sim := des.New(1)
+	cfg := memcache.DefaultConfig()
+	cfg.ProvisionTime = 0
+	cfg.NodeHourlyUSD = 0.3
+	pr, err := memcache.NewProvisioner(sim, cfg)
+	if err != nil {
+		t.Fatalf("provisioner: %v", err)
+	}
+	sim.Spawn("t", func(p *des.Proc) {
+		c, err := pr.Provision(p, 2)
+		if err != nil {
+			t.Errorf("Provision: %v", err)
+			return
+		}
+		p.Sleep(time.Hour)
+		c.Stop()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	want := 0.3 * 2 // two nodes for one hour
+	if got := pb.CacheCost(pr.Clusters()); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CacheCost = %g, want %g", got, want)
+	}
+	if got := pb.CacheCost(nil); got != 0 {
+		t.Fatalf("CacheCost(nil) = %g, want 0", got)
+	}
+}
+
+func TestFunctionsCost(t *testing.T) {
+	pb := Default()
+	m := faas.Meter{GBSeconds: 480, Invocations: 16}
+	want := 480 * 0.000017
+	if got := pb.FunctionsCost(m); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("FunctionsCost = %g, want %g", got, want)
+	}
+}
+
+func TestFunctionsCostWithInvocationPrice(t *testing.T) {
+	pb := Default()
+	pb.FunctionInvocation = 0.0000002
+	m := faas.Meter{GBSeconds: 100, Invocations: 1000}
+	want := 100*0.000017 + 1000*0.0000002
+	if got := pb.FunctionsCost(m); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("FunctionsCost = %g, want %g", got, want)
+	}
+}
+
+func TestStorageCost(t *testing.T) {
+	pb := Default()
+	m := objectstore.Metrics{ClassAOps: 2000, ClassBOps: 10000, DeleteOps: 500}
+	want := 2000*0.005/1000 + 10000*0.0004/1000
+	if got := pb.StorageCost(m); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("StorageCost = %g, want %g (deletes free)", got, want)
+	}
+}
+
+func TestVMCost(t *testing.T) {
+	sim := des.New(1)
+	pr := vm.NewProvisioner(sim)
+	var inst *vm.Instance
+	sim.Spawn("driver", func(p *des.Proc) {
+		var err error
+		inst, err = pr.Provision(p, "bx2-8x32") // 48s boot
+		if err != nil {
+			t.Errorf("Provision: %v", err)
+			return
+		}
+		p.Sleep(72 * time.Second)
+		inst.Stop() // 120s billed
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	pb := Default()
+	compute := 120.0 / 3600 * 0.3840
+	volume := 32 * 0.022 * (120.0 / 3600) / (30 * 24)
+	want := compute + volume
+	if got := pb.VMCost([]*vm.Instance{inst}); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("VMCost = %g, want %g", got, want)
+	}
+}
+
+func TestVMCostEmpty(t *testing.T) {
+	if got := Default().VMCost(nil); got != 0 {
+		t.Fatalf("VMCost(nil) = %g, want 0", got)
+	}
+}
+
+func TestReportTotalsAndRendering(t *testing.T) {
+	var r Report
+	r.Add("functions (sort)", 0.004)
+	r.Add("storage requests", 0.001)
+	r.Add("vm", 0)
+	if got := r.Total(); math.Abs(got-0.005) > 1e-12 {
+		t.Fatalf("Total = %g, want 0.005", got)
+	}
+	s := r.String()
+	for _, want := range []string{"functions (sort)", "storage requests", "TOTAL"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReportMerge(t *testing.T) {
+	var stage Report
+	stage.Add("functions", 0.002)
+	stage.Add("storage", 0.001)
+	var total Report
+	total.Merge("sort: ", stage)
+	if len(total.Lines) != 2 {
+		t.Fatalf("merged lines = %d, want 2", len(total.Lines))
+	}
+	if total.Lines[0].Label != "sort: functions" {
+		t.Fatalf("merged label = %q", total.Lines[0].Label)
+	}
+	if math.Abs(total.Total()-0.003) > 1e-12 {
+		t.Fatalf("merged total = %g", total.Total())
+	}
+}

@@ -1,0 +1,83 @@
+package billing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/faaspipe/faaspipe/internal/faas"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+)
+
+// TestPropertyReportTotalIsSumOfLines: Total must equal the sum of
+// every added line for any sequence of Add calls.
+func TestPropertyReportTotalIsSumOfLines(t *testing.T) {
+	f := func(cents []uint16) bool {
+		var r Report
+		var want float64
+		for i, c := range cents {
+			usd := float64(c) / 100
+			r.Add("line", usd)
+			want += usd
+			if i > 100 {
+				break
+			}
+		}
+		return math.Abs(r.Total()-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMergePreservesTotal: merging reports adds their totals
+// exactly, regardless of prefixes.
+func TestPropertyMergePreservesTotal(t *testing.T) {
+	f := func(a, b []uint16, prefix string) bool {
+		build := func(cents []uint16) Report {
+			var r Report
+			for _, c := range cents {
+				r.Add("x", float64(c)/100)
+			}
+			return r
+		}
+		ra, rb := build(a), build(b)
+		want := ra.Total() + rb.Total()
+		ra.Merge(prefix, rb)
+		return math.Abs(ra.Total()-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCostsNonNegativeAndMonotone: prices over non-negative
+// meters are non-negative, and more activity never costs less.
+func TestPropertyCostsNonNegativeAndMonotone(t *testing.T) {
+	pb := Default()
+	f := func(gbs uint32, inv uint16, a, b, extraA uint16) bool {
+		m := faas.Meter{GBSeconds: float64(gbs) / 100, Invocations: int64(inv)}
+		if pb.FunctionsCost(m) < 0 {
+			return false
+		}
+		sm := objectstore.Metrics{ClassAOps: int64(a), ClassBOps: int64(b)}
+		base := pb.StorageCost(sm)
+		if base < 0 {
+			return false
+		}
+		sm.ClassAOps += int64(extraA)
+		return pb.StorageCost(sm) >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStorageCostIncludesVolume(t *testing.T) {
+	pb := Default()
+	// 1 GiB held for one 30-day month costs exactly the GB-month rate.
+	m := objectstore.Metrics{ByteSeconds: float64(int64(1)<<30) * 30 * 24 * 3600}
+	if got := pb.StorageCost(m); math.Abs(got-pb.StorageGBMonth) > 1e-9 {
+		t.Fatalf("volume-only cost = %g, want %g", got, pb.StorageGBMonth)
+	}
+}

@@ -1,0 +1,112 @@
+package calib
+
+import (
+	"fmt"
+
+	"github.com/faaspipe/faaspipe/internal/core"
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/faas"
+	"github.com/faaspipe/faaspipe/internal/memcache"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+	"github.com/faaspipe/faaspipe/internal/shuffle"
+	"github.com/faaspipe/faaspipe/internal/vm"
+)
+
+// Rig is a fully wired simulated cloud built from a Profile: the
+// shared setup of every experiment, example, and integration test.
+type Rig struct {
+	Profile   Profile
+	Sim       *des.Sim
+	Store     *objectstore.Service
+	Platform  *faas.Platform
+	Prov      *vm.Provisioner
+	CacheProv *memcache.Provisioner
+	Shuffle   *shuffle.Operator
+	CacheOp   *shuffle.CacheOperator
+	Exec      *core.Executor
+}
+
+// NewRig builds the simulated cloud for a profile.
+func NewRig(p Profile) (*Rig, error) {
+	sim := des.New(p.Seed)
+	store, err := objectstore.New(sim, p.Store)
+	if err != nil {
+		return nil, fmt.Errorf("calib: store: %w", err)
+	}
+	platform, err := faas.New(sim, store, p.Faas)
+	if err != nil {
+		return nil, fmt.Errorf("calib: platform: %w", err)
+	}
+	op, err := shuffle.NewOperator(platform, store)
+	if err != nil {
+		return nil, fmt.Errorf("calib: shuffle: %w", err)
+	}
+	if err := op.EnableHierarchical(); err != nil {
+		return nil, fmt.Errorf("calib: hierarchical shuffle: %w", err)
+	}
+	cacheProv, err := memcache.NewProvisioner(sim, p.Cache)
+	if err != nil {
+		return nil, fmt.Errorf("calib: cache: %w", err)
+	}
+	cacheOp, err := shuffle.NewCacheOperator(platform, store, cacheProv)
+	if err != nil {
+		return nil, fmt.Errorf("calib: cache shuffle: %w", err)
+	}
+	var prov *vm.Provisioner
+	if len(p.VMTypes) > 0 {
+		prov = vm.NewProvisionerWithCatalog(sim, p.VMTypes)
+	} else {
+		prov = vm.NewProvisioner(sim)
+	}
+	exec := core.NewExecutor(sim, store, platform, prov, op, p.Prices)
+	exec.CacheProv = cacheProv
+	exec.CacheShuffle = cacheOp
+	return &Rig{
+		Profile:   p,
+		Sim:       sim,
+		Store:     store,
+		Platform:  platform,
+		Prov:      prov,
+		CacheProv: cacheProv,
+		Shuffle:   op,
+		CacheOp:   cacheOp,
+		Exec:      exec,
+	}, nil
+}
+
+// SortParams derives the standard sort-stage parameters for this
+// profile and dataset location.
+func (r *Rig) SortParams(inBucket, inKey, outBucket, outPrefix string, workers int) core.SortParams {
+	return core.SortParams{
+		InputBucket:    inBucket,
+		InputKey:       inKey,
+		OutputBucket:   outBucket,
+		OutputPrefix:   outPrefix,
+		Workers:        workers,
+		MemoryMB:       r.Profile.Faas.MemoryMB,
+		WorkerMemBytes: int64(r.Profile.Faas.MemoryMB) << 20,
+		MaxWorkers:     256,
+		PartitionBps:   r.Profile.PartitionBps,
+		MergeBps:       r.Profile.MergeBps,
+		Startup:        r.Profile.Faas.ColdStart,
+	}
+}
+
+// VMStrategy builds the profile's VM exchange strategy.
+func (r *Rig) VMStrategy() *core.VMExchange {
+	return &core.VMExchange{
+		InstanceType: r.Profile.InstanceType,
+		Setup:        r.Profile.VMSetup,
+		SortBps:      r.Profile.VMSortBps,
+		Conns:        r.Profile.VMConns,
+	}
+}
+
+// CacheStrategy builds the profile's cache exchange strategy. warm
+// models a pre-provisioned cluster (no spin-up latency).
+func (r *Rig) CacheStrategy(warm bool) *core.CacheExchange {
+	return &core.CacheExchange{
+		Nodes: r.Profile.CacheNodes,
+		Warm:  warm,
+	}
+}

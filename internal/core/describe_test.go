@@ -1,0 +1,50 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribeShowsTopologyAndStrategy(t *testing.T) {
+	w := NewWorkflow("methcomp")
+	if err := w.Add(&SortStage{Strategy: ObjectStorageExchange{}, Params: SortParams{}}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := w.Add(&MapStage{StageName: "encode", Function: "f",
+		InputsFromState: "sort.keys", BuildInput: func(string, int) any { return nil }}, "sort"); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	out := w.Describe()
+	for _, want := range []string{
+		`workflow "methcomp"`,
+		"sort [exchange: object-storage]",
+		"encode  <- sort",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribeRetryWrappedSort(t *testing.T) {
+	w := NewWorkflow("wf")
+	inner := &SortStage{Strategy: &VMExchange{InstanceType: "bx2-8x32"}, Params: SortParams{Workers: 8}}
+	if err := w.Add(&RetryStage{Inner: inner, Attempts: 3}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	out := w.Describe()
+	if !strings.Contains(out, "[exchange: vm, retried]") {
+		t.Errorf("retried sort not annotated:\n%s", out)
+	}
+}
+
+func TestDescribePlainRetry(t *testing.T) {
+	w := NewWorkflow("wf")
+	if err := w.Add(&RetryStage{Inner: &FuncStage{StageName: "stage",
+		Fn: func(*StageContext) error { return nil }}}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if out := w.Describe(); !strings.Contains(out, "stage [retried]") {
+		t.Errorf("retry not annotated:\n%s", out)
+	}
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/shuffle"
+)
+
+// SortParams configure a sort stage, independent of strategy.
+type SortParams struct {
+	// InputBucket/InputKey locate the unsorted dataset.
+	InputBucket, InputKey string
+	// OutputBucket/OutputPrefix receive the sorted parts.
+	OutputBucket, OutputPrefix string
+	// Workers is the parallelism degree (output part count). 0 lets
+	// the object-storage strategy plan it; the VM strategy requires an
+	// explicit value (it fixes the downstream fan-out).
+	Workers int
+	// MemoryMB overrides function memory for shuffle workers.
+	MemoryMB int
+	// WorkerMemBytes and MaxWorkers bound the shuffle planner.
+	WorkerMemBytes int64
+	MaxWorkers     int
+	// PartitionBps / MergeBps model worker compute throughputs.
+	PartitionBps, MergeBps float64
+	// Startup is the planner's startup estimate.
+	Startup time.Duration
+	// MaxRetries re-attempts shuffle invocations lost to transient
+	// platform failures.
+	MaxRetries int
+	// Speculate enables straggler speculation for shuffle waves.
+	Speculate bool
+	// Hierarchical switches the object-storage exchange to the
+	// two-level shuffle (Groups of ~sqrt(workers) unless set).
+	Hierarchical bool
+	// Groups is the two-level group count (0 = auto divisor near
+	// sqrt(workers)); ignored unless Hierarchical.
+	Groups int
+}
+
+// spec converts the params into the operator's common job spec.
+func (p SortParams) spec() shuffle.Spec {
+	return shuffle.Spec{
+		InputBucket:    p.InputBucket,
+		InputKey:       p.InputKey,
+		OutputBucket:   p.OutputBucket,
+		OutputPrefix:   p.OutputPrefix,
+		Workers:        p.Workers,
+		MaxWorkers:     p.MaxWorkers,
+		WorkerMemBytes: p.WorkerMemBytes,
+		PartitionBps:   p.PartitionBps,
+		MergeBps:       p.MergeBps,
+		Startup:        p.Startup,
+		MemoryMB:       p.MemoryMB,
+		MaxRetries:     p.MaxRetries,
+		Speculate:      p.Speculate,
+	}
+}
+
+// SortOutcome reports a completed sort.
+type SortOutcome struct {
+	// OutputKeys are the sorted part keys in global order.
+	OutputKeys []string
+	// Workers is the parallelism used.
+	Workers int
+	// Detail is a human-readable summary for tracing.
+	Detail string
+}
+
+// ExchangeStrategy is how a sort stage moves and processes its data —
+// the paper's experimental variable.
+type ExchangeStrategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// RunSort performs the sort described by params.
+	RunSort(ctx *StageContext, params SortParams) (SortOutcome, error)
+}
+
+// ObjectStorageExchange is the "purely serverless" strategy
+// (Figure 1 B): an all-to-all shuffle between functions through the
+// object store, using the Primula-style operator and its worker-count
+// planner.
+type ObjectStorageExchange struct{}
+
+var _ ExchangeStrategy = ObjectStorageExchange{}
+
+// Name implements ExchangeStrategy.
+func (ObjectStorageExchange) Name() string { return "object-storage" }
+
+// RunSort implements ExchangeStrategy.
+func (ObjectStorageExchange) RunSort(ctx *StageContext, params SortParams) (SortOutcome, error) {
+	if ctx.Exec.Shuffle == nil {
+		return SortOutcome{}, errors.New("core: executor has no shuffle operator")
+	}
+	if params.Hierarchical {
+		res, err := ctx.Exec.Shuffle.SortHierarchical(ctx.Proc, shuffle.HierSpec{
+			Spec:   params.spec(),
+			Groups: params.Groups,
+		})
+		if err != nil {
+			return SortOutcome{}, err
+		}
+		detail := fmt.Sprintf("two-level shuffle via object storage: %d workers in %d groups, round1 %v, round2 %v",
+			res.Workers, res.Groups,
+			res.Round1.Round(time.Millisecond), res.Round2.Round(time.Millisecond))
+		return SortOutcome{OutputKeys: res.OutputKeys, Workers: res.Workers, Detail: detail}, nil
+	}
+	res, err := ctx.Exec.Shuffle.Sort(ctx.Proc, params.spec())
+	if err != nil {
+		return SortOutcome{}, err
+	}
+	detail := fmt.Sprintf("shuffle via object storage: %d workers, sample %v, phase1 %v, phase2 %v",
+		res.Workers, res.Sample.Round(time.Millisecond),
+		res.Phase1.Round(time.Millisecond), res.Phase2.Round(time.Millisecond))
+	return SortOutcome{OutputKeys: res.OutputKeys, Workers: res.Workers, Detail: detail}, nil
+}
+
+// CacheExchange is the in-memory cache strategy the paper names in §1
+// as the faster-but-pricier alternative to object storage (AWS
+// ElastiCache): the all-to-all intermediates flow through a provisioned
+// cache cluster while input and output stay in the object store.
+type CacheExchange struct {
+	// Nodes fixes the cluster size; 0 sizes it from the input volume.
+	Nodes int
+	// Headroom oversizes auto-sized clusters (default 1.3).
+	Headroom float64
+	// Warm skips the cluster spin-up latency, modeling a pre-provisioned
+	// long-lived cluster (the latency-favorable ablation).
+	Warm bool
+}
+
+var _ ExchangeStrategy = (*CacheExchange)(nil)
+
+// Name implements ExchangeStrategy.
+func (c *CacheExchange) Name() string {
+	if c.Warm {
+		return "cache-warm"
+	}
+	return "cache"
+}
+
+// RunSort implements ExchangeStrategy.
+func (c *CacheExchange) RunSort(ctx *StageContext, params SortParams) (SortOutcome, error) {
+	if ctx.Exec.CacheShuffle == nil {
+		return SortOutcome{}, errors.New("core: executor has no cache shuffle operator")
+	}
+	res, err := ctx.Exec.CacheShuffle.Sort(ctx.Proc, shuffle.CacheSpec{
+		Spec:     params.spec(),
+		Nodes:    c.Nodes,
+		Headroom: c.Headroom,
+		Warm:     c.Warm,
+	})
+	if err != nil {
+		return SortOutcome{}, err
+	}
+	detail := fmt.Sprintf("shuffle via %d-node cache: %d workers, provision %v, phase1 %v, phase2 %v",
+		res.Nodes, res.Workers, res.Provision.Round(time.Millisecond),
+		res.Phase1.Round(time.Millisecond), res.Phase2.Round(time.Millisecond))
+	return SortOutcome{OutputKeys: res.OutputKeys, Workers: res.Workers, Detail: detail}, nil
+}
+
+// VMExchange is the "VM-supported" hybrid strategy (Figure 1 A): the
+// dataset is funnelled into one large-memory instance through its NIC,
+// sorted locally, and written back as parts.
+type VMExchange struct {
+	// InstanceType is the catalog profile to provision (the paper
+	// uses bx2-8x32).
+	InstanceType string
+	// Setup is the post-boot runtime deployment time (the workflow
+	// engine installs its agent on the fresh VM).
+	Setup time.Duration
+	// SortBps is the instance's aggregate local sort throughput.
+	SortBps float64
+	// Conns is the number of parallel storage connections used for
+	// staging (bounded by vCPUs when zero).
+	Conns int
+}
+
+var _ ExchangeStrategy = (*VMExchange)(nil)
+
+// Name implements ExchangeStrategy.
+func (*VMExchange) Name() string { return "vm" }
+
+// RunSort implements ExchangeStrategy.
+func (v *VMExchange) RunSort(ctx *StageContext, params SortParams) (SortOutcome, error) {
+	if ctx.Exec.Provisioner == nil {
+		return SortOutcome{}, errors.New("core: executor has no VM provisioner")
+	}
+	if params.Workers <= 0 {
+		return SortOutcome{}, errors.New("core: VM exchange needs an explicit Workers count")
+	}
+	p := ctx.Proc
+	inst, err := ctx.Exec.Provisioner.Provision(p, v.InstanceType)
+	if err != nil {
+		return SortOutcome{}, err
+	}
+	defer inst.Stop()
+	if v.Setup > 0 {
+		p.Sleep(v.Setup)
+	}
+
+	conns := v.Conns
+	if conns <= 0 {
+		conns = inst.Type().VCPUs
+	}
+	client := inst.StorageClient(ctx.Exec.Store, conns)
+
+	head, err := client.Head(p, params.InputBucket, params.InputKey)
+	if err != nil {
+		return SortOutcome{}, fmt.Errorf("vm exchange: stat input: %w", err)
+	}
+	size := head.Size
+	if size == 0 {
+		return SortOutcome{}, errors.New("vm exchange: empty input")
+	}
+	if int64(inst.Type().MemoryGB)<<30 < size {
+		return SortOutcome{}, fmt.Errorf(
+			"vm exchange: %d-byte dataset exceeds %s memory (%d GB)",
+			size, inst.Type().Name, inst.Type().MemoryGB)
+	}
+
+	// Stage in: parallel ranged GETs over the NIC.
+	parts, err := parallelFetch(p, client, params.InputBucket, params.InputKey, size, conns)
+	if err != nil {
+		return SortOutcome{}, err
+	}
+	whole := payload.Concat(parts...)
+
+	// Local sort: the real bytes are sorted for correctness; virtual
+	// time is charged by modeled aggregate throughput.
+	if v.SortBps > 0 {
+		p.Sleep(time.Duration(float64(size) / v.SortBps * float64(time.Second)))
+	}
+	var outParts []payload.Payload
+	if raw, ok := whole.Bytes(); ok {
+		recs, err := bed.Unmarshal(raw)
+		if err != nil {
+			return SortOutcome{}, fmt.Errorf("vm exchange: parse: %w", err)
+		}
+		bed.Sort(recs)
+		outParts = splitRecords(recs, params.Workers)
+	} else {
+		outParts = splitSized(size, params.Workers)
+	}
+
+	// Stage out: parallel PUTs, at most conns in flight.
+	keys := make([]string, len(outParts))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%spart-%04d", params.OutputPrefix, i)
+	}
+	if err := parallelPut(p, client, params.OutputBucket, keys, outParts, conns); err != nil {
+		return SortOutcome{}, err
+	}
+	inst.Stop()
+	detail := fmt.Sprintf("sort inside %s: boot+setup then %d-way staged I/O over %d conns",
+		inst.Type().Name, params.Workers, conns)
+	return SortOutcome{OutputKeys: keys, Workers: params.Workers, Detail: detail}, nil
+}
+
+// parallelFetch range-reads an object with conns concurrent
+// connections, returning the slices in order.
+func parallelFetch(p *des.Proc, client interface {
+	GetRange(p *des.Proc, bkt, key string, off, n int64) (payload.Payload, error)
+}, bkt, key string, size int64, conns int) ([]payload.Payload, error) {
+	if conns < 1 {
+		conns = 1
+	}
+	n := conns
+	if int64(n) > size {
+		n = int(size)
+	}
+	parts := make([]payload.Payload, n)
+	errs := make([]error, n)
+	wg := des.NewWaitGroup(p.Sim())
+	base := size / int64(n)
+	rem := size % int64(n)
+	off := int64(0)
+	for i := 0; i < n; i++ {
+		length := base
+		if int64(i) < rem {
+			length++
+		}
+		i, off2 := i, off
+		wg.Add(1)
+		p.Spawn(fmt.Sprintf("vm-fetch-%d", i), func(fp *des.Proc) {
+			defer wg.Done()
+			parts[i], errs[i] = client.GetRange(fp, bkt, key, off2, length)
+		})
+		off += length
+	}
+	wg.Wait(p)
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("vm exchange: stage in: %w", err)
+		}
+	}
+	return parts, nil
+}
+
+// parallelPut uploads payloads under keys with at most conns in
+// flight.
+func parallelPut(p *des.Proc, client interface {
+	Put(p *des.Proc, bkt, key string, pl payload.Payload) error
+}, bkt string, keys []string, parts []payload.Payload, conns int) error {
+	if conns < 1 {
+		conns = 1
+	}
+	sem := des.NewResource(p.Sim(), int64(conns))
+	errs := make([]error, len(parts))
+	wg := des.NewWaitGroup(p.Sim())
+	for i := range parts {
+		i := i
+		wg.Add(1)
+		p.Spawn(fmt.Sprintf("vm-put-%d", i), func(up *des.Proc) {
+			defer wg.Done()
+			sem.Acquire(up, 1)
+			defer sem.Release(1)
+			errs[i] = client.Put(up, bkt, keys[i], parts[i])
+		})
+	}
+	wg.Wait(p)
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("vm exchange: stage out: %w", err)
+		}
+	}
+	return nil
+}
+
+// splitRecords partitions sorted records into w contiguous parts of
+// near-equal record count, preserving global order.
+func splitRecords(recs []bed.Record, w int) []payload.Payload {
+	parts := make([]payload.Payload, w)
+	base := len(recs) / w
+	rem := len(recs) % w
+	idx := 0
+	for i := 0; i < w; i++ {
+		n := base
+		if i < rem {
+			n++
+		}
+		parts[i] = payload.RealNoCopy(bed.Marshal(recs[idx : idx+n]))
+		idx += n
+	}
+	return parts
+}
+
+// splitSized divides a sized payload into w near-equal parts.
+func splitSized(size int64, w int) []payload.Payload {
+	parts := make([]payload.Payload, w)
+	base := size / int64(w)
+	rem := size % int64(w)
+	for i := 0; i < w; i++ {
+		n := base
+		if int64(i) < rem {
+			n++
+		}
+		parts[i] = payload.Sized(n)
+	}
+	return parts
+}

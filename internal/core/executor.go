@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/billing"
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/faas"
+	"github.com/faaspipe/faaspipe/internal/memcache"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+	"github.com/faaspipe/faaspipe/internal/shuffle"
+	"github.com/faaspipe/faaspipe/internal/vm"
+)
+
+// Listener observes a workflow run (the progress tracker implements
+// it).
+type Listener interface {
+	// StageStarted fires when a stage begins executing.
+	StageStarted(workflow, stage string, at time.Duration)
+	// StageFinished fires with the stage's metered report.
+	StageFinished(workflow string, rep StageReport)
+	// RunFinished fires once with the complete run report.
+	RunFinished(rep *RunReport)
+}
+
+// StageReport is the metered outcome of one stage.
+type StageReport struct {
+	Name     string
+	Start    time.Duration
+	End      time.Duration
+	Err      error
+	Faas     faas.Meter
+	Store    objectstore.Metrics
+	VMUSD    float64
+	CacheUSD float64
+	Cost     billing.Report
+}
+
+// Duration is the stage's wall-clock (virtual) time.
+func (r StageReport) Duration() time.Duration { return r.End - r.Start }
+
+// RunReport is the outcome of a workflow run.
+type RunReport struct {
+	Workflow string
+	Start    time.Duration
+	End      time.Duration
+	Stages   []StageReport
+	Cost     billing.Report
+}
+
+// Latency is the end-to-end run time.
+func (r *RunReport) Latency() time.Duration { return r.End - r.Start }
+
+// Stage returns the report for the named stage.
+func (r *RunReport) Stage(name string) (StageReport, bool) {
+	for _, s := range r.Stages {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return StageReport{}, false
+}
+
+// Executor binds a workflow run to the simulated cloud.
+type Executor struct {
+	Sim         *des.Sim
+	Store       *objectstore.Service
+	Platform    *faas.Platform
+	Provisioner *vm.Provisioner
+	Shuffle     *shuffle.Operator
+	Prices      billing.PriceBook
+
+	// CacheProv and CacheShuffle are optional: set them when a stage
+	// uses the cache data-exchange strategy.
+	CacheProv    *memcache.Provisioner
+	CacheShuffle *shuffle.CacheOperator
+
+	listeners []Listener
+}
+
+// NewExecutor wires an executor; shuffleOp may be nil if no stage
+// needs the object-storage exchange.
+func NewExecutor(sim *des.Sim, store *objectstore.Service, platform *faas.Platform,
+	prov *vm.Provisioner, shuffleOp *shuffle.Operator, prices billing.PriceBook) *Executor {
+	return &Executor{
+		Sim:         sim,
+		Store:       store,
+		Platform:    platform,
+		Provisioner: prov,
+		Shuffle:     shuffleOp,
+		Prices:      prices,
+	}
+}
+
+// AddListener subscribes a run observer.
+func (e *Executor) AddListener(l Listener) {
+	if l != nil {
+		e.listeners = append(e.listeners, l)
+	}
+}
+
+// vmCostSnapshot totals the accumulated cost of all instances; the
+// difference across a stage attributes VM spend to it.
+func (e *Executor) vmCostSnapshot() float64 {
+	if e.Provisioner == nil {
+		return 0
+	}
+	return e.Prices.VMCost(e.Provisioner.Instances())
+}
+
+// cacheCostSnapshot totals the accumulated cost of all cache clusters.
+func (e *Executor) cacheCostSnapshot() float64 {
+	if e.CacheProv == nil {
+		return 0
+	}
+	return e.Prices.CacheCost(e.CacheProv.Clusters())
+}
+
+// Run executes the workflow, blocking p until every stage completes
+// (stages with satisfied dependencies run concurrently). The returned
+// report is complete even on error; the first stage error aborts
+// not-yet-started stages and is returned.
+func (e *Executor) Run(p *des.Proc, w *Workflow) (*RunReport, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &RunReport{Workflow: w.Name(), Start: p.Now()}
+	state := NewRunState()
+
+	done := make(map[string]*des.WaitGroup, len(w.nodes))
+	for _, n := range w.nodes {
+		wg := des.NewWaitGroup(e.Sim)
+		wg.Add(1)
+		done[n.stage.Name()] = wg
+	}
+	var (
+		firstErr error
+		all      = des.NewWaitGroup(e.Sim)
+	)
+	for _, n := range w.nodes {
+		n := n
+		all.Add(1)
+		e.Sim.Spawn(fmt.Sprintf("stage/%s", n.stage.Name()), func(sp *des.Proc) {
+			defer all.Done()
+			defer done[n.stage.Name()].Done()
+			for _, d := range n.deps {
+				done[d].Wait(sp)
+			}
+			if firstErr != nil {
+				return // abort chain: upstream failed
+			}
+			start := sp.Now()
+			fBefore := e.Platform.Meter()
+			sBefore := e.Store.Metrics()
+			vBefore := e.vmCostSnapshot()
+			cBefore := e.cacheCostSnapshot()
+			for _, l := range e.listeners {
+				l.StageStarted(w.Name(), n.stage.Name(), start)
+			}
+			err := n.stage.Run(&StageContext{Proc: sp, Exec: e, State: state})
+			sr := StageReport{
+				Name:     n.stage.Name(),
+				Start:    start,
+				End:      sp.Now(),
+				Err:      err,
+				Faas:     e.Platform.Meter().Sub(fBefore),
+				Store:    e.Store.Metrics().Sub(sBefore),
+				VMUSD:    e.vmCostSnapshot() - vBefore,
+				CacheUSD: e.cacheCostSnapshot() - cBefore,
+			}
+			sr.Cost.Add("functions", e.Prices.FunctionsCost(sr.Faas))
+			sr.Cost.Add("storage requests", e.Prices.StorageCost(sr.Store))
+			sr.Cost.Add("vm", sr.VMUSD)
+			sr.Cost.Add("cache", sr.CacheUSD)
+			rep.Stages = append(rep.Stages, sr)
+			for _, l := range e.listeners {
+				l.StageFinished(w.Name(), sr)
+			}
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("core: stage %q: %w", n.stage.Name(), err)
+			}
+		})
+	}
+	all.Wait(p)
+	rep.End = p.Now()
+	for _, sr := range rep.Stages {
+		rep.Cost.Merge(sr.Name+": ", sr.Cost)
+	}
+	for _, l := range e.listeners {
+		l.RunFinished(rep)
+	}
+	return rep, firstErr
+}

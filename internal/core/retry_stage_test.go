@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// flakyStage fails its first failures runs, then succeeds.
+type flakyStage struct {
+	name     string
+	failures int
+	runs     int
+}
+
+func (f *flakyStage) Name() string { return f.name }
+
+func (f *flakyStage) Run(ctx *StageContext) error {
+	f.runs++
+	if f.runs <= f.failures {
+		return errors.New("transient stage failure")
+	}
+	ctx.State.Set(f.name+".keys", []string{"ok"})
+	return nil
+}
+
+func TestRetryStageRecovers(t *testing.T) {
+	r := newRig(t)
+	inner := &flakyStage{name: "sort", failures: 2}
+	w := NewWorkflow("wf")
+	if err := w.Add(&RetryStage{Inner: inner, Attempts: 3}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	rep, err := r.run(t, w)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if inner.runs != 3 {
+		t.Fatalf("inner ran %d times, want 3", inner.runs)
+	}
+	sr, ok := rep.Stage("sort")
+	if !ok || sr.Err != nil {
+		t.Fatalf("stage report = %+v", sr)
+	}
+	// Two backoffs: 1s + 2s of virtual time inside the stage.
+	if sr.Duration() < 3*time.Second {
+		t.Fatalf("stage duration %v does not include backoffs", sr.Duration())
+	}
+}
+
+func TestRetryStageExhausts(t *testing.T) {
+	r := newRig(t)
+	inner := &flakyStage{name: "sort", failures: 10}
+	w := NewWorkflow("wf")
+	if err := w.Add(&RetryStage{Inner: inner, Attempts: 3}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	_, err := r.run(t, w)
+	if err == nil {
+		t.Fatal("exhausted retries reported success")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v", err)
+	}
+	if inner.runs != 3 {
+		t.Fatalf("inner ran %d times, want 3", inner.runs)
+	}
+}
+
+func TestRetryStageDefaults(t *testing.T) {
+	r := newRig(t)
+	inner := &flakyStage{name: "sort", failures: 1}
+	w := NewWorkflow("wf")
+	if err := w.Add(&RetryStage{Inner: inner}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if _, err := r.run(t, w); err != nil {
+		t.Fatalf("default attempts did not recover: %v", err)
+	}
+	if inner.runs != 2 {
+		t.Fatalf("inner ran %d times, want 2", inner.runs)
+	}
+}
+
+func TestRetryStageTransparentName(t *testing.T) {
+	if got := (&RetryStage{Inner: &flakyStage{name: "encode"}}).Name(); got != "encode" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := (&RetryStage{}).Name(); got != "retry" {
+		t.Fatalf("empty Name = %q", got)
+	}
+}
+
+func TestRetryStageNilInner(t *testing.T) {
+	r := newRig(t)
+	w := NewWorkflow("wf")
+	if err := w.Add(&RetryStage{}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if _, err := r.run(t, w); err == nil {
+		t.Fatal("nil inner accepted")
+	}
+}
+
+func TestRetryStageDownstreamSeesState(t *testing.T) {
+	// A downstream map stage must read the state the retried stage
+	// eventually published.
+	r := newRig(t)
+	inner := &flakyStage{name: "sort", failures: 1}
+	w := NewWorkflow("wf")
+	if err := w.Add(&RetryStage{Inner: inner, Attempts: 2}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	var got []string
+	check := &FuncStage{StageName: "check", Fn: func(ctx *StageContext) error {
+		keys, err := ctx.State.Keys("sort.keys")
+		got = keys
+		return err
+	}}
+	if err := w.Add(check, "sort"); err != nil {
+		t.Fatalf("Add check: %v", err)
+	}
+	if _, err := r.run(t, w); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(got) != 1 || got[0] != "ok" {
+		t.Fatalf("downstream state = %v", got)
+	}
+}

@@ -1,0 +1,277 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func approxSeconds(t *testing.T, got time.Duration, want float64, tol float64) {
+	t.Helper()
+	if math.Abs(got.Seconds()-want) > tol {
+		t.Fatalf("duration = %.4fs, want ~%.4fs", got.Seconds(), want)
+	}
+}
+
+func TestLinkSingleFlowFullCapacity(t *testing.T) {
+	s := New(1)
+	l := NewLink(s, 100) // 100 B/s
+	s.Spawn("t", func(p *Proc) {
+		l.Transfer(p, 500, 0)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	approxSeconds(t, s.Now(), 5.0, 0.01)
+}
+
+func TestLinkTwoEqualFlowsShareHalf(t *testing.T) {
+	s := New(1)
+	l := NewLink(s, 100)
+	for i := 0; i < 2; i++ {
+		s.Spawn(fmt.Sprintf("f%d", i), func(p *Proc) {
+			l.Transfer(p, 500, 0)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Both flows at 50 B/s for the whole time: 10s.
+	approxSeconds(t, s.Now(), 10.0, 0.01)
+}
+
+func TestLinkFlowCapLimitsLoneFlow(t *testing.T) {
+	s := New(1)
+	l := NewLink(s, 1000)
+	s.Spawn("capped", func(p *Proc) {
+		l.Transfer(p, 500, 100) // capped at 100 B/s despite big link
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	approxSeconds(t, s.Now(), 5.0, 0.01)
+}
+
+func TestLinkDepartingFlowSpeedsUpSurvivor(t *testing.T) {
+	s := New(1)
+	l := NewLink(s, 100)
+	var shortDone, longDone time.Duration
+	s.Spawn("short", func(p *Proc) {
+		l.Transfer(p, 100, 0)
+		shortDone = p.Now()
+	})
+	s.Spawn("long", func(p *Proc) {
+		l.Transfer(p, 300, 0)
+		longDone = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Share 50/50 until short finishes at t=2 (100B at 50B/s); long has
+	// 200B left and now gets 100 B/s: finishes at t=4.
+	approxSeconds(t, shortDone, 2.0, 0.01)
+	approxSeconds(t, longDone, 4.0, 0.01)
+}
+
+func TestLinkLateArrivalSlowsExisting(t *testing.T) {
+	s := New(1)
+	l := NewLink(s, 100)
+	var firstDone time.Duration
+	s.Spawn("first", func(p *Proc) {
+		l.Transfer(p, 300, 0)
+		firstDone = p.Now()
+	})
+	s.Spawn("second", func(p *Proc) {
+		p.Sleep(time.Second)
+		l.Transfer(p, 1000, 0)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// first: 100B in first second alone, then 200B at 50B/s => t=5.
+	approxSeconds(t, firstDone, 5.0, 0.01)
+}
+
+func TestLinkUnlimitedCapacityUsesFlowCap(t *testing.T) {
+	s := New(1)
+	l := NewLink(s, 0) // unlimited
+	s.Spawn("t", func(p *Proc) {
+		l.Transfer(p, 1000, 100)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	approxSeconds(t, s.Now(), 10.0, 0.01)
+}
+
+func TestLinkUnlimitedNoCapInstant(t *testing.T) {
+	s := New(1)
+	l := NewLink(s, 0)
+	s.Spawn("t", func(p *Proc) {
+		l.Transfer(p, 1<<40, 0) // 1 TiB, but infinite rate
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Now() != 0 {
+		t.Fatalf("unlimited transfer took %v, want 0", s.Now())
+	}
+}
+
+func TestLinkZeroBytesInstant(t *testing.T) {
+	s := New(1)
+	l := NewLink(s, 1)
+	s.Spawn("t", func(p *Proc) {
+		l.Transfer(p, 0, 0)
+		if p.Now() != 0 {
+			t.Error("zero-byte transfer advanced time")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestLinkStats(t *testing.T) {
+	s := New(1)
+	l := NewLink(s, 1000)
+	for i := 0; i < 3; i++ {
+		s.Spawn(fmt.Sprintf("f%d", i), func(p *Proc) {
+			l.Transfer(p, 100, 0)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if l.Transfers() != 3 {
+		t.Fatalf("Transfers = %d, want 3", l.Transfers())
+	}
+	if l.BytesMoved() != 300 {
+		t.Fatalf("BytesMoved = %.0f, want 300", l.BytesMoved())
+	}
+	if l.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows after drain = %d, want 0", l.ActiveFlows())
+	}
+}
+
+func TestLinkManyFlowsAggregateThroughputConserved(t *testing.T) {
+	s := New(1)
+	l := NewLink(s, 1000)
+	const flows = 20
+	const bytes = 500
+	for i := 0; i < flows; i++ {
+		s.Spawn(fmt.Sprintf("f%d", i), func(p *Proc) {
+			l.Transfer(p, bytes, 0)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// All equal: aggregate rate is the full 1000 B/s, so total time is
+	// flows*bytes/1000 = 10s.
+	approxSeconds(t, s.Now(), 10.0, 0.05)
+}
+
+func TestWaterfillEqualSplit(t *testing.T) {
+	rates := Waterfill(100, []float64{math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)})
+	for _, r := range rates {
+		if math.Abs(r-25) > 1e-9 {
+			t.Fatalf("rates = %v, want all 25", rates)
+		}
+	}
+}
+
+func TestWaterfillRespectsSmallCap(t *testing.T) {
+	rates := Waterfill(100, []float64{10, math.Inf(1), math.Inf(1)})
+	if rates[0] != 10 {
+		t.Fatalf("capped flow rate = %v, want 10", rates[0])
+	}
+	if math.Abs(rates[1]-45) > 1e-9 || math.Abs(rates[2]-45) > 1e-9 {
+		t.Fatalf("rates = %v, want [10 45 45]", rates)
+	}
+}
+
+func TestWaterfillUndersubscribed(t *testing.T) {
+	rates := Waterfill(1000, []float64{10, 20, 30})
+	want := []float64{10, 20, 30}
+	for i := range want {
+		if math.Abs(rates[i]-want[i]) > 1e-9 {
+			t.Fatalf("rates = %v, want caps %v", rates, want)
+		}
+	}
+}
+
+func TestWaterfillPropertyConservationAndCaps(t *testing.T) {
+	f := func(capSeed []uint16, capacity uint32) bool {
+		if len(capSeed) == 0 {
+			return true
+		}
+		if len(capSeed) > 50 {
+			capSeed = capSeed[:50]
+		}
+		caps := make([]float64, len(capSeed))
+		for i, c := range capSeed {
+			caps[i] = float64(c%1000) + 1
+		}
+		cap := float64(capacity%100000) + 1
+		rates := Waterfill(cap, caps)
+		var sum float64
+		for i, r := range rates {
+			if r < 0 {
+				return false // no negative rates
+			}
+			if r > caps[i]+1e-6 {
+				return false // never exceed per-flow cap
+			}
+			sum += r
+		}
+		if sum > cap+1e-6 {
+			return false // never exceed capacity
+		}
+		// Work-conserving: either capacity is saturated or every flow
+		// is at its cap.
+		if sum < cap-1e-6 {
+			for i, r := range rates {
+				if r < caps[i]-1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaterfillPropertyMaxMinFairness(t *testing.T) {
+	// For any two flows, if one gets a lower rate than another, the
+	// lower one must be at its own cap (defining property of max-min).
+	f := func(capSeed []uint16, capacity uint32) bool {
+		if len(capSeed) < 2 {
+			return true
+		}
+		if len(capSeed) > 30 {
+			capSeed = capSeed[:30]
+		}
+		caps := make([]float64, len(capSeed))
+		for i, c := range capSeed {
+			caps[i] = float64(c%500) + 1
+		}
+		cap := float64(capacity%50000) + 1
+		rates := Waterfill(cap, caps)
+		for i := range rates {
+			for j := range rates {
+				if rates[i] < rates[j]-1e-6 && rates[i] < caps[i]-1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package des
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// errKilled is the sentinel panic value used to unwind a process
+// goroutine when the simulation shuts down with the process still
+// suspended. It never escapes the process wrapper.
+var errKilled = errors.New("des: process killed")
+
+// Proc is a simulated process: a Go function running on its own
+// goroutine under cooperative scheduling. A Proc must only call its
+// methods from its own goroutine; passing a Proc across goroutines is
+// a bug.
+type Proc struct {
+	sim  *Sim
+	name string
+
+	resume    chan struct{}
+	wake      *Event
+	suspended bool
+	killed    bool
+	done      bool
+}
+
+// Spawn creates a process that begins executing fn at the current
+// virtual time (after already-scheduled events at the same instant).
+// It may be called before Run or from any process context.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		sim:    s,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	s.live[p] = struct{}{}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil && !errors.Is(asErr(r), errKilled) {
+				s.recordPanic(p.name, r)
+			}
+			p.done = true
+			delete(s.live, p)
+			s.yield <- struct{}{}
+		}()
+		<-p.resume
+		if p.killed {
+			return
+		}
+		fn(p)
+	}()
+	p.suspended = true
+	p.wake = s.Schedule(s.now, p.activate)
+	return p
+}
+
+func asErr(v any) error {
+	if err, ok := v.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// activate hands execution to the process and blocks until it yields
+// back (suspends or terminates). It runs in scheduler context.
+func (p *Proc) activate() {
+	p.wake = nil
+	p.suspended = false
+	p.resume <- struct{}{}
+	<-p.sim.yield
+}
+
+// suspend yields to the scheduler and blocks until activated again.
+func (p *Proc) suspend() {
+	p.suspended = true
+	p.sim.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(errKilled)
+	}
+}
+
+// Name reports the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the owning simulation.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() time.Duration { return p.sim.now }
+
+// Rand returns the simulation's deterministic random source.
+func (p *Proc) Rand() *rand.Rand { return p.sim.rng }
+
+// Spawn starts a child process; sugar for p.Sim().Spawn.
+func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
+	return p.sim.Spawn(name, fn)
+}
+
+// Sleep suspends the process for d of virtual time. Negative durations
+// sleep zero time (the process still yields, so same-instant events
+// already on the heap run first).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.wake = p.sim.After(d, p.activate)
+	p.suspend()
+}
+
+// Park suspends the process indefinitely; some other party must call
+// Wake to resume it. Parking with no one holding a reference that will
+// eventually Wake the process deadlocks the simulation (Run reports
+// it).
+func (p *Proc) Park() {
+	p.suspend()
+}
+
+// Wake schedules a parked process to resume at the current virtual
+// time. Waking a process that is running, already scheduled to wake,
+// or finished is a no-op, so callers may wake defensively.
+func (p *Proc) Wake() {
+	if p.done || !p.suspended || p.wake != nil {
+		return
+	}
+	p.wake = p.sim.Schedule(p.sim.now, p.activate)
+}
+
+// WaitGroup synchronizes processes on a counter, like sync.WaitGroup
+// but in virtual time. The zero value is unusable; create with
+// NewWaitGroup.
+type WaitGroup struct {
+	sim     *Sim
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns an empty wait group bound to s.
+func NewWaitGroup(s *Sim) *WaitGroup {
+	return &WaitGroup{sim: s}
+}
+
+// Add adjusts the counter by delta. Decrementing the counter to zero
+// wakes all waiters; decrementing below zero panics (a counting bug).
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("des: negative WaitGroup counter")
+	}
+	if wg.count == 0 && len(wg.waiters) > 0 {
+		for _, w := range wg.waiters {
+			w.Wake()
+		}
+		wg.waiters = wg.waiters[:0]
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Count reports the current counter value.
+func (wg *WaitGroup) Count() int { return wg.count }
+
+// Wait parks p until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.count > 0 {
+		wg.waiters = append(wg.waiters, p)
+		p.Park()
+	}
+}

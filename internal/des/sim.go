@@ -1,0 +1,253 @@
+// Package des implements a deterministic discrete-event simulation
+// kernel used as the substrate for the simulated cloud (object storage,
+// FaaS platform, and VM provisioner).
+//
+// A Sim owns a virtual clock and an event heap. Simulated activities
+// run as processes (Proc): ordinary Go functions executing on their own
+// goroutines, but scheduled cooperatively so that exactly one process
+// runs at any instant. All ordering is decided by the event heap
+// (virtual time, then FIFO sequence), which makes runs fully
+// deterministic regardless of the Go scheduler.
+//
+// Because only one process runs at a time, simulation-side data
+// structures (the object store's buckets, platform meters, ...) need no
+// locking; that invariant is relied upon throughout the repository.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ErrSimLimit is returned by Run when the event or time limit
+// configured on the Sim is exceeded before the simulation drains.
+var ErrSimLimit = errors.New("des: simulation limit exceeded")
+
+// DeadlockError reports that the event heap drained while processes
+// were still parked, i.e. no future event could ever wake them.
+type DeadlockError struct {
+	// Parked lists the names of the processes left waiting.
+	Parked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("des: deadlock, %d process(es) parked: %s",
+		len(e.Parked), strings.Join(e.Parked, ", "))
+}
+
+// PanicError wraps a panic raised inside a simulated process.
+type PanicError struct {
+	// Proc is the name of the process that panicked.
+	Proc string
+	// Value is the recovered panic value.
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("des: process %q panicked: %v", e.Proc, e.Value)
+}
+
+// Event is a cancelable entry on the simulation's event heap.
+type Event struct {
+	at       time.Duration
+	seq      int64
+	index    int // heap index, -1 once popped
+	canceled bool
+	fire     func()
+}
+
+// Cancel prevents a pending event from firing. Canceling an event that
+// already fired (or was already canceled) is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulation. The zero value is not usable;
+// construct with New.
+type Sim struct {
+	now    time.Duration
+	seq    int64
+	events eventHeap
+	yield  chan struct{}
+	rng    *rand.Rand
+	live   map[*Proc]struct{}
+
+	running bool
+	err     error
+
+	// MaxEvents, when positive, bounds the number of events the run
+	// loop will fire before returning ErrSimLimit. It is a safety net
+	// against runaway simulations, not a scheduling feature.
+	MaxEvents int64
+	fired     int64
+}
+
+// New returns a Sim whose random source is seeded with seed. The same
+// seed and workload produce identical traces.
+func New(seed int64) *Sim {
+	return &Sim{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+		live:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// RNG returns the simulation-owned random source. It must only be used
+// from process context (or before Run), like all other Sim state.
+func (s *Sim) RNG() *rand.Rand { return s.rng }
+
+// Schedule registers fn to fire at virtual time at (clamped to now if
+// in the past) and returns a cancelable handle.
+func (s *Sim) Schedule(at time.Duration, fn func()) *Event {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	ev := &Event{at: at, seq: s.seq, fire: fn}
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// After schedules fn to fire d from now.
+func (s *Sim) After(d time.Duration, fn func()) *Event {
+	return s.Schedule(s.now+d, fn)
+}
+
+// Run drives the simulation until the event heap drains, a limit is
+// hit, or a process panics. It returns nil on a clean drain with no
+// live processes, a *DeadlockError if processes were left parked,
+// a *PanicError if a process panicked, or ErrSimLimit.
+//
+// Whatever the outcome, no process goroutines survive Run: on error
+// paths every suspended process is unwound before Run returns.
+func (s *Sim) Run() error {
+	return s.RunUntil(-1)
+}
+
+// RunUntil is Run with a horizon: events scheduled after limit are not
+// fired and ErrSimLimit is returned. A negative limit means no horizon.
+func (s *Sim) RunUntil(limit time.Duration) error {
+	if s.running {
+		return errors.New("des: Run called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+
+	for s.events.Len() > 0 {
+		if s.err != nil {
+			break
+		}
+		next, ok := heap.Pop(&s.events).(*Event)
+		if !ok || next.canceled {
+			continue
+		}
+		if limit >= 0 && next.at > limit {
+			s.now = limit
+			s.killLive()
+			if s.err != nil {
+				return s.err
+			}
+			return ErrSimLimit
+		}
+		if s.MaxEvents > 0 && s.fired >= s.MaxEvents {
+			s.killLive()
+			if s.err != nil {
+				return s.err
+			}
+			return ErrSimLimit
+		}
+		s.fired++
+		s.now = next.at
+		next.fire()
+	}
+	if s.err != nil {
+		s.killLive()
+		return s.err
+	}
+	if len(s.live) > 0 {
+		// The heap drained, so no wake event exists for any live
+		// process: every one of them is parked forever.
+		names := make([]string, 0, len(s.live))
+		for p := range s.live {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		s.killLive()
+		return &DeadlockError{Parked: names}
+	}
+	return nil
+}
+
+// killLive unwinds every live process so its goroutine exits. Each
+// suspended process receives a kill token that makes its next resume
+// panic with errKilled, which the process wrapper swallows. Processes
+// that were spawned but whose start event never fired are discarded
+// without ever starting their goroutine's body.
+func (s *Sim) killLive() {
+	for len(s.live) > 0 {
+		var victim *Proc
+		for p := range s.live {
+			victim = p
+			break
+		}
+		victim.killed = true
+		victim.resume <- struct{}{}
+		<-s.yield
+		delete(s.live, victim)
+	}
+}
+
+func (s *Sim) recordPanic(name string, v any) {
+	if s.err == nil {
+		s.err = &PanicError{Proc: name, Value: v}
+	}
+}

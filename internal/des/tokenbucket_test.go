@@ -1,0 +1,118 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketBurstIsFree(t *testing.T) {
+	s := New(1)
+	tb := NewTokenBucket(s, 10, 5)
+	var took time.Duration
+	s.Spawn("t", func(p *Proc) {
+		tb.Take(p, 5)
+		took = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if took != 0 {
+		t.Fatalf("burst take finished at %v, want 0", took)
+	}
+}
+
+func TestTokenBucketThrottlesSustainedRate(t *testing.T) {
+	s := New(1)
+	tb := NewTokenBucket(s, 100, 1) // 100 ops/s, tiny burst
+	const n = 500
+	s.Spawn("t", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			tb.Take(p, 1)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	elapsed := s.Now().Seconds()
+	want := float64(n-1) / 100 // first op free from the burst
+	if math.Abs(elapsed-want) > 0.05 {
+		t.Fatalf("500 ops at 100/s took %.3fs, want ~%.3fs", elapsed, want)
+	}
+}
+
+func TestTokenBucketRefillCapsAtBurst(t *testing.T) {
+	s := New(1)
+	tb := NewTokenBucket(s, 10, 5)
+	var second time.Duration
+	s.Spawn("t", func(p *Proc) {
+		tb.Take(p, 5)        // drain burst at t=0
+		p.Sleep(time.Minute) // way more than enough to refill past burst
+		tb.Take(p, 5)        // burst again: free
+		start := p.Now()
+		tb.Take(p, 5) // must wait 0.5s, proving tokens capped at 5
+		second = p.Now() - start
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(second.Seconds()-0.5) > 0.01 {
+		t.Fatalf("post-idle take waited %v, want ~500ms", second)
+	}
+}
+
+func TestTokenBucketFIFOFairness(t *testing.T) {
+	s := New(1)
+	tb := NewTokenBucket(s, 1, 1) // 1 op/s
+	var order []string
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("w%d", i)
+		delay := time.Duration(i) * time.Millisecond
+		s.Spawn(name, func(p *Proc) {
+			p.Sleep(delay)
+			tb.Take(p, 1)
+			order = append(order, p.Name())
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, name := range []string{"w0", "w1", "w2", "w3"} {
+		if order[i] != name {
+			t.Fatalf("admission order = %v, want arrival order", order)
+		}
+	}
+}
+
+func TestTokenBucketLargeTakeOverdraws(t *testing.T) {
+	s := New(1)
+	tb := NewTokenBucket(s, 10, 2)
+	var took time.Duration
+	s.Spawn("t", func(p *Proc) {
+		tb.Take(p, 12) // > burst; deficit model must admit after wait
+		took = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := time.Second // (12-2)/10
+	if d := took - want; d < -10*time.Millisecond || d > 10*time.Millisecond {
+		t.Fatalf("large take at %v, want ~%v", took, want)
+	}
+}
+
+func TestTokenBucketZeroTakeNoop(t *testing.T) {
+	s := New(1)
+	tb := NewTokenBucket(s, 1, 1)
+	s.Spawn("t", func(p *Proc) {
+		tb.Take(p, 0)
+		tb.Take(p, -5)
+		if p.Now() != 0 {
+			t.Error("zero/negative take advanced time")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

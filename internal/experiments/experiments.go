@@ -1,0 +1,540 @@
+// Package experiments is the reproduction harness: each function
+// regenerates one table, figure, or in-text claim of the paper on the
+// simulated cloud, returning typed rows the CLI and the benchmarks
+// both render.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+	"github.com/faaspipe/faaspipe/internal/calib"
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/core"
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/faas"
+	"github.com/faaspipe/faaspipe/internal/genomics"
+	"github.com/faaspipe/faaspipe/internal/methcomp"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+	"github.com/faaspipe/faaspipe/internal/shuffle"
+)
+
+// Paper's published Table 1 values, for side-by-side rendering.
+const (
+	PaperServerlessLatency = 83.32
+	PaperServerlessCost    = 0.008
+	PaperVMLatency         = 142.77
+	PaperVMCost            = 0.010
+	PaperDataBytes         = int64(3500e6)
+	PaperWorkers           = 8
+)
+
+// StrategyKind selects a pipeline configuration.
+type StrategyKind int
+
+// The two configurations of Figure 1 / Table 1, plus the cache-
+// supported extension the paper's §1 motivates (ElastiCache-style
+// in-memory exchange), in cold (per-job provisioning) and warm
+// (pre-provisioned cluster) variants.
+const (
+	PurelyServerless StrategyKind = iota + 1
+	VMSupported
+	CacheSupported
+	CacheSupportedWarm
+)
+
+func (k StrategyKind) String() string {
+	switch k {
+	case PurelyServerless:
+		return `"Purely" serverless`
+	case VMSupported:
+		return "VM-supported"
+	case CacheSupported:
+		return "Cache-supported"
+	case CacheSupportedWarm:
+		return "Cache-supported (warm)"
+	default:
+		return fmt.Sprintf("StrategyKind(%d)", int(k))
+	}
+}
+
+// PipelineRun is one end-to-end METHCOMP pipeline execution.
+type PipelineRun struct {
+	Kind    StrategyKind
+	Latency time.Duration
+	CostUSD float64
+	Report  *core.RunReport
+	// FaasStats summarizes the platform's activation log for the run.
+	FaasStats faas.Stats
+}
+
+// RunPipeline executes the METHCOMP pipeline once at full scale with
+// sized payloads (no RAM cost for multi-GB datasets) and returns its
+// measured latency and cost.
+func RunPipeline(profile calib.Profile, kind StrategyKind, dataBytes int64, workers int) (PipelineRun, error) {
+	rig, err := calib.NewRig(profile)
+	if err != nil {
+		return PipelineRun{}, err
+	}
+	if err := genomics.RegisterFunctions(rig.Platform); err != nil {
+		return PipelineRun{}, err
+	}
+	var strategy core.ExchangeStrategy
+	switch kind {
+	case PurelyServerless:
+		strategy = core.ObjectStorageExchange{}
+	case VMSupported:
+		strategy = rig.VMStrategy()
+	case CacheSupported:
+		strategy = rig.CacheStrategy(false)
+	case CacheSupportedWarm:
+		strategy = rig.CacheStrategy(true)
+	default:
+		return PipelineRun{}, fmt.Errorf("experiments: unknown strategy %d", kind)
+	}
+	cfg := genomics.PipelineConfig{
+		InputBucket: "data", InputKey: "sample.bed",
+		WorkBucket:  "work",
+		Strategy:    strategy,
+		Sort:        rig.SortParams("data", "sample.bed", "work", "sorted/", workers),
+		EncodeBps:   rig.Profile.EncodeBps,
+		EncodeRatio: rig.Profile.EncodeRatio,
+	}
+	w, err := genomics.BuildPipeline(cfg)
+	if err != nil {
+		return PipelineRun{}, err
+	}
+
+	var (
+		rep    *core.RunReport
+		runErr error
+	)
+	rig.Sim.Spawn("experiment", func(p *des.Proc) {
+		c := objectstore.NewClient(rig.Store)
+		for _, b := range []string{"data", "work"} {
+			if err := c.CreateBucket(p, b); err != nil {
+				runErr = err
+				return
+			}
+		}
+		if err := c.Put(p, "data", "sample.bed", payload.Sized(dataBytes)); err != nil {
+			runErr = err
+			return
+		}
+		rep, runErr = rig.Exec.Run(p, w)
+	})
+	if err := rig.Sim.Run(); err != nil {
+		return PipelineRun{}, err
+	}
+	if runErr != nil {
+		return PipelineRun{}, runErr
+	}
+	return PipelineRun{
+		Kind:      kind,
+		Latency:   rep.Latency(),
+		CostUSD:   rep.Cost.Total(),
+		Report:    rep,
+		FaasStats: faas.Summarize(rig.Platform.Activations()),
+	}, nil
+}
+
+// Table1Result reproduces Table 1.
+type Table1Result struct {
+	DataBytes int64
+	Workers   int
+	Rows      []PipelineRun
+}
+
+// Table1 runs both configurations at the paper's scale (or the given
+// overrides).
+func Table1(profile calib.Profile, dataBytes int64, workers int) (Table1Result, error) {
+	if dataBytes <= 0 {
+		dataBytes = PaperDataBytes
+	}
+	if workers <= 0 {
+		workers = PaperWorkers
+	}
+	res := Table1Result{DataBytes: dataBytes, Workers: workers}
+	for _, kind := range []StrategyKind{PurelyServerless, VMSupported} {
+		run, err := RunPipeline(profile, kind, dataBytes, workers)
+		if err != nil {
+			return res, fmt.Errorf("experiments: %v: %w", kind, err)
+		}
+		res.Rows = append(res.Rows, run)
+	}
+	return res, nil
+}
+
+// String renders the reproduced table alongside the paper's values.
+func (r Table1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: METHCOMP pipeline, %.1f GB input, parallelism %d\n",
+		float64(r.DataBytes)/1e9, r.Workers)
+	fmt.Fprintf(&b, "%-22s %12s %10s %14s %12s\n",
+		"Configuration", "Latency (s)", "Cost ($)", "Paper lat (s)", "Paper ($)")
+	for _, row := range r.Rows {
+		pl, pc := PaperServerlessLatency, PaperServerlessCost
+		if row.Kind == VMSupported {
+			pl, pc = PaperVMLatency, PaperVMCost
+		}
+		fmt.Fprintf(&b, "%-22s %12.2f %10.4f %14.2f %12.3f\n",
+			row.Kind, row.Latency.Seconds(), row.CostUSD, pl, pc)
+	}
+	if len(r.Rows) == 2 {
+		fmt.Fprintf(&b, "speedup (VM / serverless): %.2fx  (paper: %.2fx)\n",
+			r.Rows[1].Latency.Seconds()/r.Rows[0].Latency.Seconds(),
+			PaperVMLatency/PaperServerlessLatency)
+	}
+	return b.String()
+}
+
+// StageTrace renders per-stage timelines of both runs (the executable
+// counterpart of Figure 1's two architectures).
+func (r Table1Result) StageTrace() string {
+	var b strings.Builder
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s\n", row.Kind)
+		base := row.Report.Start
+		for _, s := range row.Report.Stages {
+			fmt.Fprintf(&b, "  %-8s %10.2fs -> %10.2fs (%8.2fs)  cost $%0.6f\n",
+				s.Name, (s.Start - base).Seconds(), (s.End - base).Seconds(),
+				s.Duration().Seconds(), s.Cost.Total())
+		}
+		fmt.Fprintf(&b, "  %-8s %23s (%8.2fs)  cost $%0.6f\n",
+			"TOTAL", "", row.Latency.Seconds(), row.CostUSD)
+		for _, line := range strings.Split(strings.TrimRight(row.FaasStats.String(), "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return b.String()
+}
+
+// ThreeWayResult extends Table 1 with the cache-supported exchange the
+// paper names but does not measure: every data-passing substrate the
+// introduction discusses, on the same pipeline.
+type ThreeWayResult struct {
+	DataBytes int64
+	Workers   int
+	Rows      []PipelineRun
+}
+
+// ThreeWay runs the pipeline under every exchange strategy (object
+// storage, VM, cold cache, warm cache) at the given scale.
+func ThreeWay(profile calib.Profile, dataBytes int64, workers int) (ThreeWayResult, error) {
+	if dataBytes <= 0 {
+		dataBytes = PaperDataBytes
+	}
+	if workers <= 0 {
+		workers = PaperWorkers
+	}
+	res := ThreeWayResult{DataBytes: dataBytes, Workers: workers}
+	kinds := []StrategyKind{PurelyServerless, VMSupported, CacheSupported, CacheSupportedWarm}
+	for _, kind := range kinds {
+		run, err := RunPipeline(profile, kind, dataBytes, workers)
+		if err != nil {
+			return res, fmt.Errorf("experiments: %v: %w", kind, err)
+		}
+		res.Rows = append(res.Rows, run)
+	}
+	return res, nil
+}
+
+// String renders the extension table.
+func (r ThreeWayResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: all data-exchange substrates, %.1f GB input, parallelism %d\n",
+		float64(r.DataBytes)/1e9, r.Workers)
+	fmt.Fprintf(&b, "%-24s %12s %10s %24s\n", "Configuration", "Latency (s)", "Cost ($)", "sort-stage detail")
+	for _, row := range r.Rows {
+		detail := ""
+		if sr, ok := row.Report.Stage("sort"); ok {
+			detail = fmt.Sprintf("sort %.2fs, $%.4f", sr.Duration().Seconds(), sr.Cost.Total())
+		}
+		fmt.Fprintf(&b, "%-24s %12.2f %10.4f %24s\n",
+			row.Kind, row.Latency.Seconds(), row.CostUSD, detail)
+	}
+	return b.String()
+}
+
+// SweepRow is one point of the worker-count sweep.
+type SweepRow struct {
+	Workers   int
+	Measured  time.Duration
+	Predicted time.Duration
+}
+
+// WorkerSweepResult demonstrates the "appropriate number of functions"
+// claim: shuffle latency is U-shaped in worker count, and the planner
+// picks near the bottom.
+type WorkerSweepResult struct {
+	DataBytes int64
+	Rows      []SweepRow
+	// Planned is the worker count Primula's planner chooses.
+	Planned int
+}
+
+// WorkerSweep measures the shuffle alone at each worker count.
+func WorkerSweep(profile calib.Profile, dataBytes int64, workerCounts []int) (WorkerSweepResult, error) {
+	if dataBytes <= 0 {
+		dataBytes = PaperDataBytes
+	}
+	res := WorkerSweepResult{DataBytes: dataBytes}
+	for _, w := range workerCounts {
+		measured, err := measureShuffle(profile, dataBytes, w)
+		if err != nil {
+			return res, fmt.Errorf("experiments: sweep w=%d: %w", w, err)
+		}
+		pred := shuffle.Predict(w, planInput(profile, dataBytes), shuffle.ProfileOf(profile.Store))
+		res.Rows = append(res.Rows, SweepRow{Workers: w, Measured: measured, Predicted: pred.Predicted})
+	}
+	plan, err := shuffle.Optimize(planInput(profile, dataBytes), shuffle.ProfileOf(profile.Store))
+	if err != nil {
+		return res, err
+	}
+	res.Planned = plan.Workers
+	return res, nil
+}
+
+func planInput(profile calib.Profile, dataBytes int64) shuffle.PlanInput {
+	return shuffle.PlanInput{
+		DataBytes:      dataBytes,
+		MaxWorkers:     256,
+		WorkerMemBytes: int64(profile.Faas.MemoryMB) << 20,
+		PartitionBps:   profile.PartitionBps,
+		MergeBps:       profile.MergeBps,
+		Startup:        profile.Faas.ColdStart,
+	}
+}
+
+func measureShuffle(profile calib.Profile, dataBytes int64, workers int) (time.Duration, error) {
+	rig, err := calib.NewRig(profile)
+	if err != nil {
+		return 0, err
+	}
+	var (
+		dur    time.Duration
+		runErr error
+	)
+	rig.Sim.Spawn("sweep", func(p *des.Proc) {
+		c := objectstore.NewClient(rig.Store)
+		_ = c.CreateBucket(p, "data")
+		_ = c.CreateBucket(p, "work")
+		if err := c.Put(p, "data", "in", payload.Sized(dataBytes)); err != nil {
+			runErr = err
+			return
+		}
+		start := p.Now()
+		_, runErr = rig.Shuffle.Sort(p, shuffle.Spec{
+			InputBucket: "data", InputKey: "in",
+			OutputBucket: "work", OutputPrefix: "sorted/",
+			Workers:      workers,
+			PartitionBps: profile.PartitionBps,
+			MergeBps:     profile.MergeBps,
+			MemoryMB:     profile.Faas.MemoryMB,
+		})
+		dur = p.Now() - start
+	})
+	if err := rig.Sim.Run(); err != nil {
+		return 0, err
+	}
+	return dur, runErr
+}
+
+// String renders the sweep as a table with a crude latency bar.
+func (r WorkerSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shuffle latency vs worker count (%.1f GB; planner picks %d)\n",
+		float64(r.DataBytes)/1e9, r.Planned)
+	fmt.Fprintf(&b, "%8s %14s %14s\n", "workers", "measured (s)", "model (s)")
+	var maxS float64
+	for _, row := range r.Rows {
+		if s := row.Measured.Seconds(); s > maxS {
+			maxS = s
+		}
+	}
+	for _, row := range r.Rows {
+		bar := ""
+		if maxS > 0 {
+			bar = strings.Repeat("#", int(row.Measured.Seconds()/maxS*40))
+		}
+		marker := ""
+		if row.Workers == r.Planned {
+			marker = "  <- planned"
+		}
+		fmt.Fprintf(&b, "%8d %14.2f %14.2f  %s%s\n",
+			row.Workers, row.Measured.Seconds(), row.Predicted.Seconds(), bar, marker)
+	}
+	return b.String()
+}
+
+// SizeRow is one point of the dataset-size sweep.
+type SizeRow struct {
+	Bytes         int64
+	Serverless    time.Duration
+	VM            time.Duration
+	ServerlessUSD float64
+	VMUSD         float64
+}
+
+// SizeSweepResult shows how the Table 1 comparison shifts with dataset
+// size (VM boot amortization ablation).
+type SizeSweepResult struct {
+	Workers int
+	Rows    []SizeRow
+}
+
+// SizeSweep runs both configurations across dataset sizes.
+func SizeSweep(profile calib.Profile, sizes []int64, workers int) (SizeSweepResult, error) {
+	if workers <= 0 {
+		workers = PaperWorkers
+	}
+	res := SizeSweepResult{Workers: workers}
+	for _, size := range sizes {
+		sl, err := RunPipeline(profile, PurelyServerless, size, workers)
+		if err != nil {
+			return res, err
+		}
+		vmRun, err := RunPipeline(profile, VMSupported, size, workers)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, SizeRow{
+			Bytes:         size,
+			Serverless:    sl.Latency,
+			VM:            vmRun.Latency,
+			ServerlessUSD: sl.CostUSD,
+			VMUSD:         vmRun.CostUSD,
+		})
+	}
+	return res, nil
+}
+
+// String renders the size sweep.
+func (r SizeSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pipeline latency & cost vs dataset size (parallelism %d)\n", r.Workers)
+	fmt.Fprintf(&b, "%10s %16s %12s %14s %12s %9s\n",
+		"size (GB)", "serverless (s)", "vm (s)", "serverless ($)", "vm ($)", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10.1f %16.2f %12.2f %14.4f %12.4f %8.2fx\n",
+			float64(row.Bytes)/1e9, row.Serverless.Seconds(), row.VM.Seconds(),
+			row.ServerlessUSD, row.VMUSD,
+			row.VM.Seconds()/row.Serverless.Seconds())
+	}
+	return b.String()
+}
+
+// CompressionRow is one point of the codec comparison.
+type CompressionRow struct {
+	Records int
+	methcomp.Comparison
+}
+
+// CompressionResult reproduces the §2.1 claim that METHCOMP
+// compresses methylation data about an order of magnitude better than
+// gzip.
+type CompressionResult struct {
+	Rows []CompressionRow
+}
+
+// Compression compares the codec against gzip on synthetic WGBS data.
+func Compression(recordCounts []int, seed int64) (CompressionResult, error) {
+	var res CompressionResult
+	for _, n := range recordCounts {
+		recs := bed.Generate(bed.GenConfig{Records: n, Seed: seed, Sorted: true})
+		cmp, err := methcomp.Compare(recs)
+		if err != nil {
+			return res, fmt.Errorf("experiments: compression n=%d: %w", n, err)
+		}
+		res.Rows = append(res.Rows, CompressionRow{Records: n, Comparison: cmp})
+	}
+	return res, nil
+}
+
+// String renders the comparison.
+func (r CompressionResult) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "METHCOMP vs gzip on synthetic WGBS bedMethyl (sorted)")
+	fmt.Fprintf(&b, "%10s %12s %12s %12s %10s %10s %11s\n",
+		"records", "raw (B)", "methcomp", "gzip", "mc ratio", "gz ratio", "advantage")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10d %12d %12d %12d %9.1fx %9.1fx %10.1fx\n",
+			row.Records, row.RawBytes, row.CompressedBytes, row.GzipBytes,
+			row.Ratio, row.GzipRatio, row.Advantage)
+	}
+	return b.String()
+}
+
+// ThrottleRow is one point of the ops-throttle demonstration.
+type ThrottleRow struct {
+	Clients     int
+	AchievedOps float64
+}
+
+// ThrottleResult demonstrates the §1 claim that object storage
+// sustains only a few thousand operations/s no matter how many
+// clients hammer it.
+type ThrottleResult struct {
+	ConfiguredWriteOps float64
+	Rows               []ThrottleRow
+}
+
+// StoreThrottle measures achieved aggregate write ops/s for growing
+// client counts.
+func StoreThrottle(profile calib.Profile, clients []int, opsPerClient int) (ThrottleResult, error) {
+	res := ThrottleResult{ConfiguredWriteOps: profile.Store.WriteOpsPerSec}
+	for _, n := range clients {
+		rig, err := calib.NewRig(profile)
+		if err != nil {
+			return res, err
+		}
+		var runErr error
+		rig.Sim.Spawn("throttle", func(p *des.Proc) {
+			c := objectstore.NewClient(rig.Store)
+			if err := c.CreateBucket(p, "b"); err != nil {
+				runErr = err
+				return
+			}
+			wg := des.NewWaitGroup(rig.Sim)
+			for i := 0; i < n; i++ {
+				i := i
+				wg.Add(1)
+				p.Spawn(fmt.Sprintf("client%d", i), func(cp *des.Proc) {
+					defer wg.Done()
+					for k := 0; k < opsPerClient; k++ {
+						if err := c.Put(cp, "b",
+							fmt.Sprintf("c%d/k%d", i, k), payload.Sized(0)); err != nil {
+							runErr = err
+							return
+						}
+					}
+				})
+			}
+			wg.Wait(p)
+		})
+		if err := rig.Sim.Run(); err != nil {
+			return res, err
+		}
+		if runErr != nil {
+			return res, runErr
+		}
+		elapsed := rig.Sim.Now().Seconds()
+		total := float64(n * opsPerClient)
+		res.Rows = append(res.Rows, ThrottleRow{Clients: n, AchievedOps: total / elapsed})
+	}
+	return res, nil
+}
+
+// String renders the throttle result.
+func (r ThrottleResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Aggregate write ops/s vs client count (service limit %.0f/s)\n",
+		r.ConfiguredWriteOps)
+	fmt.Fprintf(&b, "%10s %16s\n", "clients", "achieved ops/s")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10d %16.0f\n", row.Clients, row.AchievedOps)
+	}
+	return b.String()
+}

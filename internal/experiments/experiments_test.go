@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/faaspipe/faaspipe/internal/calib"
+)
+
+func TestTable1ReproducesPaperShape(t *testing.T) {
+	res, err := Table1(calib.Paper(), 0, 0)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	sl, vm := res.Rows[0], res.Rows[1]
+	if sl.Kind != PurelyServerless || vm.Kind != VMSupported {
+		t.Fatalf("row order: %v, %v", sl.Kind, vm.Kind)
+	}
+	// Headline: serverless wins on latency.
+	if sl.Latency >= vm.Latency {
+		t.Fatalf("serverless %v not faster than VM %v", sl.Latency, vm.Latency)
+	}
+	// Factor near the paper's 1.71x.
+	speedup := vm.Latency.Seconds() / sl.Latency.Seconds()
+	if speedup < 1.4 || speedup > 2.1 {
+		t.Fatalf("speedup = %.2fx, want ~1.7x", speedup)
+	}
+	// Calibration: latencies within 15%% of the published numbers.
+	if d := math.Abs(sl.Latency.Seconds()-PaperServerlessLatency) / PaperServerlessLatency; d > 0.15 {
+		t.Fatalf("serverless latency %.2fs deviates %.0f%% from paper %.2fs",
+			sl.Latency.Seconds(), d*100, PaperServerlessLatency)
+	}
+	if d := math.Abs(vm.Latency.Seconds()-PaperVMLatency) / PaperVMLatency; d > 0.15 {
+		t.Fatalf("VM latency %.2fs deviates %.0f%% from paper %.2fs",
+			vm.Latency.Seconds(), d*100, PaperVMLatency)
+	}
+	// Costs are similar, with the VM configuration slightly higher —
+	// the paper's second-order observation.
+	if sl.CostUSD >= vm.CostUSD {
+		t.Fatalf("serverless cost %.4f >= VM cost %.4f", sl.CostUSD, vm.CostUSD)
+	}
+	if vm.CostUSD > 2*sl.CostUSD {
+		t.Fatalf("costs not similar: %.4f vs %.4f", sl.CostUSD, vm.CostUSD)
+	}
+}
+
+func TestTable1Deterministic(t *testing.T) {
+	a, err := Table1(calib.Paper(), 0, 0)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	b, err := Table1(calib.Paper(), 0, 0)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i].Latency != b.Rows[i].Latency {
+			t.Fatalf("row %d latency differs across runs", i)
+		}
+		if a.Rows[i].CostUSD != b.Rows[i].CostUSD {
+			t.Fatalf("row %d cost differs across runs", i)
+		}
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	res, err := Table1(calib.Paper(), 0, 0)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	s := res.String()
+	for _, want := range []string{"Purely", "VM-supported", "speedup", "83.32"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+	trace := res.StageTrace()
+	for _, want := range []string{"sort", "encode", "TOTAL"} {
+		if !strings.Contains(trace, want) {
+			t.Fatalf("trace missing %q:\n%s", want, trace)
+		}
+	}
+}
+
+func TestWorkerSweepUShape(t *testing.T) {
+	counts := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	res, err := WorkerSweep(calib.Paper(), 0, counts)
+	if err != nil {
+		t.Fatalf("WorkerSweep: %v", err)
+	}
+	if len(res.Rows) != len(counts) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Find the measured minimum; it must not sit at either extreme —
+	// too few functions starve bandwidth, too many drown in requests.
+	minIdx := 0
+	for i, row := range res.Rows {
+		if row.Measured < res.Rows[minIdx].Measured {
+			minIdx = i
+		}
+	}
+	if minIdx == 0 {
+		t.Fatalf("minimum at 1 worker; no bandwidth aggregation benefit:\n%s", res)
+	}
+	if minIdx == len(res.Rows)-1 {
+		t.Fatalf("minimum at max workers; request overheads not modeled:\n%s", res)
+	}
+	if res.Planned <= 1 {
+		t.Fatalf("planner picked %d workers", res.Planned)
+	}
+	// The planner's choice must be competitive: within 25% of the best
+	// measured point.
+	best := res.Rows[minIdx].Measured.Seconds()
+	planned, err := measureShuffle(calib.Paper(), PaperDataBytes, res.Planned)
+	if err != nil {
+		t.Fatalf("measure planned: %v", err)
+	}
+	if planned.Seconds() > best*1.25 {
+		t.Fatalf("planner choice %d measured %.2fs vs best %.2fs",
+			res.Planned, planned.Seconds(), best)
+	}
+}
+
+func TestSizeSweepBootAmortization(t *testing.T) {
+	sizes := []int64{500e6, 3500e6, 16000e6}
+	res, err := SizeSweep(calib.Paper(), sizes, 8)
+	if err != nil {
+		t.Fatalf("SizeSweep: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Latency grows with size for both strategies.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Serverless <= res.Rows[i-1].Serverless {
+			t.Fatalf("serverless latency not increasing with size:\n%s", res)
+		}
+		if res.Rows[i].VM <= res.Rows[i-1].VM {
+			t.Fatalf("VM latency not increasing with size:\n%s", res)
+		}
+	}
+	// The serverless advantage shrinks as the VM boot amortizes.
+	first := res.Rows[0].VM.Seconds() / res.Rows[0].Serverless.Seconds()
+	last := res.Rows[len(res.Rows)-1].VM.Seconds() / res.Rows[len(res.Rows)-1].Serverless.Seconds()
+	if last >= first {
+		t.Fatalf("speedup grew with size (%.2fx -> %.2fx); boot not amortizing:\n%s",
+			first, last, res)
+	}
+	// Serverless stays ahead across the sweep in this regime.
+	for _, row := range res.Rows {
+		if row.Serverless >= row.VM {
+			t.Fatalf("serverless lost at %.1f GB:\n%s", float64(row.Bytes)/1e9, res)
+		}
+	}
+}
+
+func TestCompressionOrderOfMagnitude(t *testing.T) {
+	res, err := Compression([]int{50000, 200000}, 42)
+	if err != nil {
+		t.Fatalf("Compression: %v", err)
+	}
+	for _, row := range res.Rows {
+		if row.Ratio < 10 {
+			t.Fatalf("methcomp ratio %.1fx < 10x at %d records", row.Ratio, row.Records)
+		}
+		if row.Advantage < 2.5 {
+			t.Fatalf("advantage %.1fx < 2.5x at %d records", row.Advantage, row.Records)
+		}
+	}
+	if !strings.Contains(res.String(), "advantage") {
+		t.Fatal("render missing advantage column")
+	}
+}
+
+func TestStoreThrottlePlateau(t *testing.T) {
+	res, err := StoreThrottle(calib.Paper(), []int{1, 8, 64}, 300)
+	if err != nil {
+		t.Fatalf("StoreThrottle: %v", err)
+	}
+	limit := res.ConfiguredWriteOps
+	// One client is bounded by request latency, far below the limit.
+	if res.Rows[0].AchievedOps > limit {
+		t.Fatalf("1 client exceeded the service limit:\n%s", res)
+	}
+	// Many clients plateau at the configured limit, not above.
+	many := res.Rows[len(res.Rows)-1].AchievedOps
+	if many > limit*1.1 {
+		t.Fatalf("aggregate %.0f ops/s exceeds limit %.0f:\n%s", many, limit, res)
+	}
+	if many < limit*0.7 {
+		t.Fatalf("aggregate %.0f ops/s far below limit %.0f; throttle too strict:\n%s",
+			many, limit, res)
+	}
+}
+
+func TestRunPipelineUnknownStrategy(t *testing.T) {
+	if _, err := RunPipeline(calib.Paper(), StrategyKind(99), 1e6, 2); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}

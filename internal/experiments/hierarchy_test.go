@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/faaspipe/faaspipe/internal/calib"
+)
+
+func TestHierarchySweepCrossover(t *testing.T) {
+	res, err := HierarchySweep(calib.Paper(), 0, []int{8, 128})
+	if err != nil {
+		t.Fatalf("HierarchySweep: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	small, big := res.Rows[0], res.Rows[1]
+	// At the paper's parallelism the extra pass loses; the one-level
+	// exchange is why Primula's planner stays single-round there.
+	if small.TwoLevel <= small.OneLevel {
+		t.Errorf("w=8: two-level %v beat one-level %v; extra pass unmodeled",
+			small.TwoLevel, small.OneLevel)
+	}
+	// At large fan-out the w^2 requests hit the ops throttle and the
+	// hierarchy wins.
+	if big.TwoLevel >= big.OneLevel {
+		t.Errorf("w=128: two-level %v lost to one-level %v; request savings missing",
+			big.TwoLevel, big.OneLevel)
+	}
+}
+
+func TestHierarchySweepModelTracksMeasurement(t *testing.T) {
+	res, err := HierarchySweep(calib.Paper(), 0, []int{16, 128})
+	if err != nil {
+		t.Fatalf("HierarchySweep: %v", err)
+	}
+	for _, row := range res.Rows {
+		// The analytic model should predict the same winner as the
+		// measurement — that is what lets the planner choose shapes
+		// without running them.
+		measured2Wins := row.TwoLevel < row.OneLevel
+		predicted2Wins := row.PredictedTwo < row.PredictedOne
+		if measured2Wins != predicted2Wins {
+			t.Errorf("w=%d: model winner disagrees with measurement (%+v)", row.Workers, row)
+		}
+	}
+}
+
+func TestHierarchySweepString(t *testing.T) {
+	res, err := HierarchySweep(calib.Paper(), 1000e6, []int{8})
+	if err != nil {
+		t.Fatalf("HierarchySweep: %v", err)
+	}
+	out := res.String()
+	for _, want := range []string{"workers", "groups", "winner", "1-level"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/faaspipe/faaspipe/internal/calib"
+)
+
+func TestMemorySweepLatencyFallsWithMemory(t *testing.T) {
+	res, err := MemorySweep(calib.Paper(), 0, 0, []int{512, 2048, 4096})
+	if err != nil {
+		t.Fatalf("MemorySweep: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	small, paper, big := res.Rows[0], res.Rows[1], res.Rows[2]
+	// CPU scales with the grant: 512 MB functions run the CPU-bound
+	// stages 4x slower than the paper's 2 GB.
+	if small.Latency <= paper.Latency {
+		t.Errorf("512MB latency %v not above 2048MB %v", small.Latency, paper.Latency)
+	}
+	// 4 GB functions are at least as fast as 2 GB (I/O-bound stages
+	// stop improving, so the gain may be small, but never negative).
+	if big.Latency > paper.Latency {
+		t.Errorf("4096MB latency %v above 2048MB %v", big.Latency, paper.Latency)
+	}
+}
+
+func TestMemorySweepUsesPaperDefaults(t *testing.T) {
+	res, err := MemorySweep(calib.Paper(), 0, 0, []int{2048})
+	if err != nil {
+		t.Fatalf("MemorySweep: %v", err)
+	}
+	if res.DataBytes != PaperDataBytes || res.Workers != PaperWorkers {
+		t.Fatalf("defaults = %+v", res)
+	}
+	// The 2048 MB row must reproduce Table 1's serverless row exactly
+	// (same profile, same seed).
+	t1, err := Table1(calib.Paper(), 0, 0)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if res.Rows[0].Latency != t1.Rows[0].Latency {
+		t.Errorf("memory sweep 2048 latency %v != Table 1 serverless %v",
+			res.Rows[0].Latency, t1.Rows[0].Latency)
+	}
+}
+
+func TestMemorySweepString(t *testing.T) {
+	res, err := MemorySweep(calib.Paper(), 1000e6, 8, []int{1024, 2048})
+	if err != nil {
+		t.Fatalf("MemorySweep: %v", err)
+	}
+	out := res.String()
+	if !strings.Contains(out, "paper's grant") {
+		t.Errorf("2048 row not marked:\n%s", out)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/calib"
+	"github.com/faaspipe/faaspipe/internal/shuffle"
+)
+
+// PlannerRow is one dataset size of the planner-regret study.
+type PlannerRow struct {
+	Bytes int64
+	// Planned is the worker count the planner picks and its measured
+	// latency.
+	Planned        int
+	PlannedLatency time.Duration
+	// BestWorkers is the best grid point by measurement.
+	BestWorkers int
+	BestLatency time.Duration
+	// Regret is PlannedLatency/BestLatency - 1 (0 = planner matched
+	// the measured optimum).
+	Regret float64
+}
+
+// PlannerResult quantifies Primula's central promise: the worker count
+// chosen "on the fly" from the storage profile should measure within a
+// few percent of the brute-force best — across dataset sizes, without
+// running a sweep first.
+type PlannerResult struct {
+	Grid []int
+	Rows []PlannerRow
+}
+
+// PlannerRegret measures every grid worker count and the planner's
+// pick at each dataset size.
+func PlannerRegret(profile calib.Profile, sizes []int64, grid []int) (PlannerResult, error) {
+	if len(grid) == 0 {
+		grid = []int{4, 8, 16, 24, 32, 48, 64, 96, 128}
+	}
+	res := PlannerResult{Grid: grid}
+	for _, size := range sizes {
+		row := PlannerRow{Bytes: size}
+		for _, w := range grid {
+			lat, err := measureShuffle(profile, size, w)
+			if err != nil {
+				return res, fmt.Errorf("experiments: planner grid w=%d: %w", w, err)
+			}
+			if row.BestWorkers == 0 || lat < row.BestLatency {
+				row.BestWorkers = w
+				row.BestLatency = lat
+			}
+		}
+		plan, err := shuffle.Optimize(planInput(profile, size), shuffle.ProfileOf(profile.Store))
+		if err != nil {
+			return res, err
+		}
+		row.Planned = plan.Workers
+		row.PlannedLatency, err = measureShuffle(profile, size, plan.Workers)
+		if err != nil {
+			return res, fmt.Errorf("experiments: planner pick w=%d: %w", plan.Workers, err)
+		}
+		row.Regret = row.PlannedLatency.Seconds()/row.BestLatency.Seconds() - 1
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the regret study.
+func (r PlannerResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Planner regret vs brute-force grid %v\n", r.Grid)
+	fmt.Fprintf(&b, "%10s %9s %13s %10s %12s %9s\n",
+		"size (GB)", "planned", "planned (s)", "best w", "best (s)", "regret")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10.1f %9d %13.2f %10d %12.2f %8.1f%%\n",
+			float64(row.Bytes)/1e9, row.Planned, row.PlannedLatency.Seconds(),
+			row.BestWorkers, row.BestLatency.Seconds(), row.Regret*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/faaspipe/faaspipe/internal/calib"
+)
+
+func TestPlannerRegretSmall(t *testing.T) {
+	res, err := PlannerRegret(calib.Paper(), []int64{1000e6, 3500e6},
+		[]int{8, 16, 32, 48, 64, 96})
+	if err != nil {
+		t.Fatalf("PlannerRegret: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Planned <= 0 || row.BestWorkers <= 0 {
+			t.Errorf("row %+v has missing picks", row)
+		}
+		// The planner's promise: within 15% of the brute-force best
+		// (it optimizes a model, not the measurement itself).
+		if row.Regret > 0.15 {
+			t.Errorf("size %.1f GB: regret %.0f%% too high (planned %d @ %v, best %d @ %v)",
+				float64(row.Bytes)/1e9, row.Regret*100,
+				row.Planned, row.PlannedLatency, row.BestWorkers, row.BestLatency)
+		}
+		// Regret below ~-2% would mean measurement noise or a grid
+		// mistake: planned can beat the grid only by landing between
+		// grid points.
+		if row.Regret < -0.5 {
+			t.Errorf("size %.1f GB: nonsensical regret %.2f", float64(row.Bytes)/1e9, row.Regret)
+		}
+	}
+}
+
+func TestPlannerRegretString(t *testing.T) {
+	res, err := PlannerRegret(calib.Paper(), []int64{500e6}, []int{8, 16})
+	if err != nil {
+		t.Fatalf("PlannerRegret: %v", err)
+	}
+	out := res.String()
+	for _, want := range []string{"planned", "best w", "regret"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/faaspipe/faaspipe/internal/calib"
+)
+
+func TestWorkerSweepString(t *testing.T) {
+	res, err := WorkerSweep(calib.Paper(), 500e6, []int{4, 8})
+	if err != nil {
+		t.Fatalf("WorkerSweep: %v", err)
+	}
+	out := res.String()
+	for _, want := range []string{"workers", "measured (s)", "model (s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// The planner's pick is marked when it falls inside the sweep.
+	res.Planned = 8
+	if out := res.String(); !strings.Contains(out, "<- planned") {
+		t.Errorf("planned marker missing:\n%s", out)
+	}
+}
+
+func TestSizeSweepString(t *testing.T) {
+	res, err := SizeSweep(calib.Paper(), []int64{500e6}, 8)
+	if err != nil {
+		t.Fatalf("SizeSweep: %v", err)
+	}
+	out := res.String()
+	for _, want := range []string{"size (GB)", "serverless (s)", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestThrottleString(t *testing.T) {
+	res, err := StoreThrottle(calib.Paper(), []int{2}, 20)
+	if err != nil {
+		t.Fatalf("StoreThrottle: %v", err)
+	}
+	out := res.String()
+	for _, want := range []string{"clients", "achieved ops/s", "1500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStageTraceIncludesActivationStats(t *testing.T) {
+	res, err := Table1(calib.Paper(), 500e6, 4)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	out := res.StageTrace()
+	for _, want := range []string{"activations:", "handler time:", "billed:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package faas
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/des"
+)
+
+// Speculation configures straggler mitigation for MapSpeculative, in
+// the mold of Spark's speculative execution: once most of a wave has
+// finished, laggards get a duplicate attempt and the first completion
+// wins.
+type Speculation struct {
+	// Quantile is the completed fraction of inputs at which speculation
+	// arms (default 0.75).
+	Quantile float64
+	// Multiplier scales the arm-time elapsed into the backup deadline:
+	// an input still running at Multiplier x the elapsed time of the
+	// arming completion gets one backup invocation (default 1.5).
+	Multiplier float64
+}
+
+func (s Speculation) withDefaults() Speculation {
+	if s.Quantile <= 0 || s.Quantile > 1 {
+		s.Quantile = 0.75
+	}
+	if s.Multiplier < 1 {
+		s.Multiplier = 1.5
+	}
+	return s
+}
+
+// SpecReport summarizes one speculative map's duplicate activity.
+type SpecReport struct {
+	// Backups is how many duplicate invocations were launched.
+	Backups int
+	// BackupWins is how many inputs were settled by their backup.
+	BackupWins int
+}
+
+// MapSpeculative invokes name once per input concurrently, like
+// MapSync, but with straggler mitigation: once Quantile of the inputs
+// have completed, every input still running past the backup deadline
+// gets one duplicate invocation, and whichever attempt completes first
+// settles that input. Handlers must therefore be idempotent (the
+// shuffle's are: they PUT deterministic keys). The losing attempt is
+// not cancelled — real platforms cannot kill an invocation either —
+// so its cost is still metered, which is the price of the makespan
+// win.
+//
+// Results are returned in input order with the first error by input
+// order, after every input has settled.
+func (pf *Platform) MapSpeculative(p *des.Proc, name string, inputs []any, opts InvokeOptions, sc Speculation) ([]any, SpecReport, error) {
+	sc = sc.withDefaults()
+	n := len(inputs)
+	rep := SpecReport{}
+	if n == 0 {
+		return nil, rep, nil
+	}
+
+	start := p.Now()
+	primary := make([]*Future, n)
+	for i, in := range inputs {
+		primary[i] = pf.InvokeAsync(name, in, opts)
+	}
+	backup := make([]*Future, n)
+	results := make([]any, n)
+	errs := make([]error, n)
+	settled := make([]bool, n)
+	completed := 0
+
+	armAt := int(math.Ceil(sc.Quantile * float64(n)))
+	if armAt < 1 {
+		armAt = 1
+	}
+	var (
+		armed        bool
+		deadline     time.Duration
+		timerRunning bool
+	)
+
+	settle := func(i int, out any, err error, byBackup bool) {
+		results[i] = out
+		errs[i] = err
+		settled[i] = true
+		completed++
+		if byBackup {
+			rep.BackupWins++
+		}
+	}
+
+	for completed < n {
+		for i := range inputs {
+			if settled[i] {
+				continue
+			}
+			if primary[i].Done() {
+				out, err := primary[i].Result()
+				settle(i, out, err, false)
+				continue
+			}
+			if backup[i] != nil && backup[i].Done() {
+				out, err := backup[i].Result()
+				settle(i, out, err, true)
+			}
+		}
+		if completed >= n {
+			break
+		}
+		if !armed && completed >= armAt {
+			armed = true
+			deadline = start + time.Duration(sc.Multiplier*float64(p.Now()-start))
+		}
+		if armed {
+			if p.Now() >= deadline {
+				// Past the deadline: every pending input without a
+				// backup gets one now.
+				for i := range inputs {
+					if !settled[i] && backup[i] == nil {
+						backup[i] = pf.InvokeAsync(name, inputs[i], opts)
+						rep.Backups++
+					}
+				}
+			} else if !timerRunning {
+				// Arrange to be woken exactly at the deadline so
+				// stragglers are duplicated even if nothing else
+				// completes in the meantime.
+				timerRunning = true
+				wait := deadline - p.Now()
+				p.Spawn("spec-timer", func(tp *des.Proc) {
+					tp.Sleep(wait)
+					p.Wake()
+				})
+			}
+		}
+		// Park until any pending attempt completes (or the timer fires).
+		for i := range inputs {
+			if settled[i] {
+				continue
+			}
+			primary[i].notify(p)
+			if backup[i] != nil {
+				backup[i].notify(p)
+			}
+		}
+		p.Park()
+	}
+
+	var firstErr error
+	for i, err := range errs {
+		if err != nil {
+			firstErr = fmt.Errorf("faas: input %d: %w", i, err)
+			break
+		}
+	}
+	return results, rep, firstErr
+}

@@ -1,0 +1,32 @@
+package memcache
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrStopped is returned for operations on a deprovisioned cluster.
+	ErrStopped = errors.New("memcache: cluster is stopped")
+	// ErrOutOfMemory is returned when a Set does not fit and eviction is
+	// disabled (Redis "OOM command not allowed" with noeviction policy).
+	ErrOutOfMemory = errors.New("memcache: out of memory")
+	// ErrTooLarge is returned when a single value exceeds a node's
+	// capacity outright; no amount of eviction can make it fit.
+	ErrTooLarge = errors.New("memcache: value larger than node capacity")
+)
+
+// KeyError reports a missing key.
+type KeyError struct {
+	Key string
+}
+
+func (e *KeyError) Error() string {
+	return fmt.Sprintf("memcache: no such key %q", e.Key)
+}
+
+// IsNotFound reports whether err is a missing-key error.
+func IsNotFound(err error) bool {
+	var ke *KeyError
+	return errors.As(err, &ke)
+}

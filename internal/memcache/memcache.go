@@ -1,0 +1,420 @@
+// Package memcache simulates a provisioned in-memory cache service in
+// the mold of AWS ElastiCache or IBM Databases for Redis — the
+// alternative data-passing substrate the paper names in §1: much lower
+// latency and much higher request throughput than object storage, but
+// capacity-bounded, billed per node-hour whether used or not, and with
+// per-node network ceilings instead of a huge shared backend fabric.
+//
+// A Cluster shards keys across its nodes by hash. Each node has a
+// memory capacity, its own NIC modeled as a fair-shared link, and a
+// request-rate throttle far above object storage's. Values either must
+// fit (noeviction, the safe default for data passing) or are admitted
+// by evicting least-recently-used items when eviction is enabled.
+//
+// All methods must be called from des process context; like the other
+// substrates it needs no locking because the simulation kernel runs
+// one process at a time.
+package memcache
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/des"
+)
+
+// Config describes the cache service's performance and price profile.
+type Config struct {
+	// NodeMemoryBytes is each node's usable capacity.
+	NodeMemoryBytes int64
+	// RequestLatency is the per-request service latency (sub-millisecond
+	// for in-memory stores, versus tens of milliseconds for object
+	// storage).
+	RequestLatency time.Duration
+	// PerConnBandwidth caps one request's transfer rate, bytes/second.
+	PerConnBandwidth float64
+	// NodeBandwidth is one node's NIC ceiling in bytes/second, shared
+	// fairly by that node's in-flight transfers (<= 0: unlimited).
+	NodeBandwidth float64
+	// NodeOpsPerSec throttles each node's request admission.
+	NodeOpsPerSec float64
+	// OpsBurst is the per-node token-bucket burst.
+	OpsBurst float64
+	// ProvisionTime is the cluster spin-up latency. Managed caches
+	// provision in minutes; the paper's argument that "always-on" object
+	// storage needs no such step rests on this cost existing.
+	ProvisionTime time.Duration
+	// NodeHourlyUSD is the on-demand price per node, billed per second.
+	NodeHourlyUSD float64
+	// AllowEviction enables LRU eviction on memory pressure instead of
+	// failing the Set (Redis maxmemory-policy allkeys-lru vs noeviction).
+	AllowEviction bool
+}
+
+// DefaultConfig resembles a cache.m5-class managed Redis node.
+func DefaultConfig() Config {
+	return Config{
+		NodeMemoryBytes:  13 << 30, // cache.m5.xlarge: ~13 GiB usable
+		RequestLatency:   400 * time.Microsecond,
+		PerConnBandwidth: 300e6,
+		NodeBandwidth:    1.25e9, // ~10 Gb/s NIC
+		NodeOpsPerSec:    90000,
+		OpsBurst:         1000,
+		ProvisionTime:    3 * time.Minute,
+		NodeHourlyUSD:    0.311,
+	}
+}
+
+func (c Config) validate() error {
+	if c.NodeMemoryBytes <= 0 {
+		return fmt.Errorf("memcache: NodeMemoryBytes must be positive, got %d", c.NodeMemoryBytes)
+	}
+	if c.RequestLatency < 0 {
+		return fmt.Errorf("memcache: negative RequestLatency %v", c.RequestLatency)
+	}
+	if c.PerConnBandwidth <= 0 {
+		return fmt.Errorf("memcache: PerConnBandwidth must be positive, got %g", c.PerConnBandwidth)
+	}
+	if c.NodeOpsPerSec <= 0 {
+		return fmt.Errorf("memcache: NodeOpsPerSec must be positive, got %g", c.NodeOpsPerSec)
+	}
+	if c.ProvisionTime < 0 {
+		return fmt.Errorf("memcache: negative ProvisionTime %v", c.ProvisionTime)
+	}
+	if c.NodeHourlyUSD < 0 {
+		return fmt.Errorf("memcache: negative NodeHourlyUSD %g", c.NodeHourlyUSD)
+	}
+	return nil
+}
+
+// Provisioner creates cache clusters on a simulation.
+type Provisioner struct {
+	sim *des.Sim
+	cfg Config
+
+	clusters []*Cluster
+}
+
+// NewProvisioner returns a provisioner with the given node profile.
+func NewProvisioner(sim *des.Sim, cfg Config) (*Provisioner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.OpsBurst < 1 {
+		cfg.OpsBurst = 1
+	}
+	return &Provisioner{sim: sim, cfg: cfg}, nil
+}
+
+// Config returns the node profile.
+func (pr *Provisioner) Config() Config { return pr.cfg }
+
+// Provision spins up a cluster of n nodes, blocking p for the
+// provisioning latency, and returns the running cluster.
+func (pr *Provisioner) Provision(p *des.Proc, n int) (*Cluster, error) {
+	return pr.provision(p, n, pr.cfg.ProvisionTime)
+}
+
+// ProvisionWarm returns a cluster without paying the spin-up latency,
+// modeling a long-lived cluster that is already running when the job
+// starts. Billing still begins now (the job window), which understates
+// a real always-on cluster's cost; callers comparing strategies should
+// say so.
+func (pr *Provisioner) ProvisionWarm(p *des.Proc, n int) (*Cluster, error) {
+	return pr.provision(p, n, 0)
+}
+
+func (pr *Provisioner) provision(p *des.Proc, n int, spinUp time.Duration) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("memcache: cluster needs >= 1 node, got %d", n)
+	}
+	requested := pr.sim.Now()
+	p.Sleep(spinUp)
+	c := &Cluster{
+		sim:       pr.sim,
+		cfg:       pr.cfg,
+		requested: requested,
+		nodes:     make([]*node, n),
+	}
+	for i := range c.nodes {
+		c.nodes[i] = &node{
+			link:  des.NewLink(pr.sim, pr.cfg.NodeBandwidth),
+			tb:    des.NewTokenBucket(pr.sim, pr.cfg.NodeOpsPerSec, pr.cfg.OpsBurst),
+			items: make(map[string]*list.Element),
+			lru:   list.New(),
+		}
+	}
+	pr.clusters = append(pr.clusters, c)
+	return c, nil
+}
+
+// Clusters returns every cluster ever provisioned (for billing).
+func (pr *Provisioner) Clusters() []*Cluster {
+	out := make([]*Cluster, len(pr.clusters))
+	copy(out, pr.clusters)
+	return out
+}
+
+// item is one stored value; the LRU list element's Value points here.
+type item struct {
+	key string
+	pl  payload.Payload
+}
+
+// node is one cache shard.
+type node struct {
+	link  *des.Link
+	tb    *des.TokenBucket
+	items map[string]*list.Element
+	lru   *list.List // front = most recently used
+	used  int64
+}
+
+// Cluster is a running (or stopped) cache cluster.
+type Cluster struct {
+	sim       *des.Sim
+	cfg       Config
+	nodes     []*node
+	requested time.Duration
+	stoppedAt time.Duration
+	stopped   bool
+	metrics   Metrics
+}
+
+// Nodes reports the cluster size.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Metrics returns a snapshot of the accumulated counters.
+func (c *Cluster) Metrics() Metrics { return c.metrics }
+
+// UsedBytes reports total stored volume across nodes.
+func (c *Cluster) UsedBytes() int64 {
+	var t int64
+	for _, n := range c.nodes {
+		t += n.used
+	}
+	return t
+}
+
+// CapacityBytes reports the cluster's total capacity.
+func (c *Cluster) CapacityBytes() int64 {
+	return c.cfg.NodeMemoryBytes * int64(len(c.nodes))
+}
+
+// Stop deprovisions the cluster; billing stops here. Idempotent.
+func (c *Cluster) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	c.stoppedAt = c.sim.Now()
+}
+
+// Stopped reports whether the cluster has been stopped.
+func (c *Cluster) Stopped() bool { return c.stopped }
+
+// BilledDuration reports the billable lifetime: provisioning request to
+// stop (or to now if still running). Managed caches bill from the
+// create call.
+func (c *Cluster) BilledDuration() time.Duration {
+	end := c.sim.Now()
+	if c.stopped {
+		end = c.stoppedAt
+	}
+	return end - c.requested
+}
+
+// Cost reports the cluster's accumulated cost in USD at per-second
+// granularity.
+func (c *Cluster) Cost() float64 {
+	return c.BilledDuration().Hours() * c.cfg.NodeHourlyUSD * float64(len(c.nodes))
+}
+
+// nodeFor shards a key to a node by hash.
+func (c *Cluster) nodeFor(key string) *node {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return c.nodes[int(h.Sum32())%len(c.nodes)]
+}
+
+// NodeIndexFor exposes the shard mapping, for tests and placement-aware
+// callers.
+func (c *Cluster) NodeIndexFor(key string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32()) % len(c.nodes)
+}
+
+// admit charges one request on n: throttle then service latency.
+func (c *Cluster) admit(p *des.Proc, n *node) error {
+	if c.stopped {
+		return ErrStopped
+	}
+	n.tb.Take(p, 1)
+	if c.stopped { // stopped while queued on the throttle
+		return ErrStopped
+	}
+	p.Sleep(c.cfg.RequestLatency)
+	return nil
+}
+
+// transfer moves size bytes over the node NIC at the per-connection
+// ceiling, sharing the NIC fairly with concurrent transfers.
+func (c *Cluster) transfer(p *des.Proc, n *node, size int64) {
+	n.link.Transfer(p, size, c.cfg.PerConnBandwidth)
+}
+
+// Set stores a value. When the shard is full, eviction policy decides:
+// with AllowEviction, least-recently-used items are dropped until the
+// value fits; otherwise ErrOutOfMemory. A value larger than a whole
+// node fails with ErrTooLarge either way.
+func (c *Cluster) Set(p *des.Proc, key string, pl payload.Payload) error {
+	n := c.nodeFor(key)
+	if err := c.admit(p, n); err != nil {
+		return err
+	}
+	size := pl.Size()
+	if size > c.cfg.NodeMemoryBytes {
+		return fmt.Errorf("%w: %d bytes > %d-byte node", ErrTooLarge, size, c.cfg.NodeMemoryBytes)
+	}
+	c.transfer(p, n, size)
+	c.metrics.SetOps++
+	c.metrics.BytesIn += size
+
+	// Replacing an existing key first releases its space.
+	if el, ok := n.items[key]; ok {
+		n.used -= el.Value.(*item).pl.Size()
+		n.lru.Remove(el)
+		delete(n.items, key)
+	}
+	for n.used+size > c.cfg.NodeMemoryBytes {
+		if !c.cfg.AllowEviction {
+			return fmt.Errorf("%w: need %d bytes, %d free on shard",
+				ErrOutOfMemory, size, c.cfg.NodeMemoryBytes-n.used)
+		}
+		oldest := n.lru.Back()
+		if oldest == nil {
+			break // empty shard; size fits by the ErrTooLarge check
+		}
+		ev := oldest.Value.(*item)
+		n.used -= ev.pl.Size()
+		n.lru.Remove(oldest)
+		delete(n.items, ev.key)
+		c.metrics.Evictions++
+	}
+	el := n.lru.PushFront(&item{key: key, pl: pl})
+	n.items[key] = el
+	n.used += size
+	return nil
+}
+
+// Get retrieves a value, refreshing its recency.
+func (c *Cluster) Get(p *des.Proc, key string) (payload.Payload, error) {
+	n := c.nodeFor(key)
+	if err := c.admit(p, n); err != nil {
+		return nil, err
+	}
+	c.metrics.GetOps++
+	el, ok := n.items[key]
+	if !ok {
+		c.metrics.Misses++
+		return nil, &KeyError{Key: key}
+	}
+	c.metrics.Hits++
+	n.lru.MoveToFront(el)
+	pl := el.Value.(*item).pl
+	c.transfer(p, n, pl.Size())
+	c.metrics.BytesOut += pl.Size()
+	return pl, nil
+}
+
+// MGet retrieves several keys in one round trip per shard: the keys
+// are grouped by node, each group pays one request admission and
+// latency, and the values transfer back over the node NIC. This is the
+// batching a Redis pipeline or MGET gives an all-to-all reader —
+// turning w serial request latencies into one per shard. Results are
+// returned in key order; a missing key fails the whole call, like a
+// strict pipeline.
+func (c *Cluster) MGet(p *des.Proc, keys []string) ([]payload.Payload, error) {
+	out := make([]payload.Payload, len(keys))
+	byNode := make(map[*node][]int)
+	for i, key := range keys {
+		n := c.nodeFor(key)
+		byNode[n] = append(byNode[n], i)
+	}
+	// Deterministic shard order: iterate nodes in cluster order.
+	for _, n := range c.nodes {
+		idxs, ok := byNode[n]
+		if !ok {
+			continue
+		}
+		if err := c.admit(p, n); err != nil {
+			return nil, err
+		}
+		c.metrics.GetOps++
+		var batch int64
+		for _, i := range idxs {
+			el, ok := n.items[keys[i]]
+			if !ok {
+				c.metrics.Misses++
+				return nil, &KeyError{Key: keys[i]}
+			}
+			c.metrics.Hits++
+			n.lru.MoveToFront(el)
+			pl := el.Value.(*item).pl
+			out[i] = pl
+			batch += pl.Size()
+		}
+		c.transfer(p, n, batch)
+		c.metrics.BytesOut += batch
+	}
+	return out, nil
+}
+
+// Delete removes a key. Deleting an absent key succeeds, like Redis DEL.
+func (c *Cluster) Delete(p *des.Proc, key string) error {
+	n := c.nodeFor(key)
+	if err := c.admit(p, n); err != nil {
+		return err
+	}
+	c.metrics.DeleteOps++
+	if el, ok := n.items[key]; ok {
+		n.used -= el.Value.(*item).pl.Size()
+		n.lru.Remove(el)
+		delete(n.items, key)
+	}
+	return nil
+}
+
+// Exists reports whether a key is present, without transferring it.
+func (c *Cluster) Exists(p *des.Proc, key string) (bool, error) {
+	n := c.nodeFor(key)
+	if err := c.admit(p, n); err != nil {
+		return false, err
+	}
+	c.metrics.GetOps++
+	_, ok := n.items[key]
+	if ok {
+		c.metrics.Hits++
+	} else {
+		c.metrics.Misses++
+	}
+	return ok, nil
+}
+
+// NodesForCapacity returns the smallest cluster size whose total
+// capacity holds dataBytes with the given headroom factor (>= 1).
+func NodesForCapacity(cfg Config, dataBytes int64, headroom float64) int {
+	if headroom < 1 {
+		headroom = 1
+	}
+	need := float64(dataBytes) * headroom
+	nodes := 1
+	for float64(cfg.NodeMemoryBytes)*float64(nodes) < need {
+		nodes++
+	}
+	return nodes
+}

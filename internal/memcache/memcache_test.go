@@ -1,0 +1,529 @@
+package memcache
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/des"
+)
+
+// fastConfig removes throttling/latency noise so logic tests are exact.
+func fastConfig() Config {
+	return Config{
+		NodeMemoryBytes:  1 << 20,
+		RequestLatency:   0,
+		PerConnBandwidth: 1e12,
+		NodeBandwidth:    0,
+		NodeOpsPerSec:    1e9,
+		OpsBurst:         1e9,
+		ProvisionTime:    0,
+		NodeHourlyUSD:    0.3,
+	}
+}
+
+// rig provisions a cluster inside a sim process and hands it to fn.
+func rig(t *testing.T, cfg Config, nodes int, fn func(p *des.Proc, c *Cluster)) {
+	t.Helper()
+	sim := des.New(1)
+	pr, err := NewProvisioner(sim, cfg)
+	if err != nil {
+		t.Fatalf("NewProvisioner: %v", err)
+	}
+	sim.Spawn("test", func(p *des.Proc) {
+		c, err := pr.Provision(p, nodes)
+		if err != nil {
+			t.Errorf("Provision: %v", err)
+			return
+		}
+		fn(p, c)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero memory", func(c *Config) { c.NodeMemoryBytes = 0 }},
+		{"negative latency", func(c *Config) { c.RequestLatency = -time.Second }},
+		{"zero conn bandwidth", func(c *Config) { c.PerConnBandwidth = 0 }},
+		{"zero ops", func(c *Config) { c.NodeOpsPerSec = 0 }},
+		{"negative provision", func(c *Config) { c.ProvisionTime = -time.Second }},
+		{"negative price", func(c *Config) { c.NodeHourlyUSD = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			if _, err := NewProvisioner(des.New(1), cfg); err == nil {
+				t.Errorf("NewProvisioner accepted invalid config %+v", cfg)
+			}
+		})
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if _, err := NewProvisioner(des.New(1), DefaultConfig()); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestProvisionNeedsNodes(t *testing.T) {
+	sim := des.New(1)
+	pr, err := NewProvisioner(sim, fastConfig())
+	if err != nil {
+		t.Fatalf("NewProvisioner: %v", err)
+	}
+	sim.Spawn("test", func(p *des.Proc) {
+		if _, err := pr.Provision(p, 0); err == nil {
+			t.Error("Provision(0) succeeded, want error")
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestSetGetRoundtrip(t *testing.T) {
+	rig(t, fastConfig(), 3, func(p *des.Proc, c *Cluster) {
+		want := []byte("intermediate partition bytes")
+		if err := c.Set(p, "k", payload.Real(want)); err != nil {
+			t.Errorf("Set: %v", err)
+		}
+		got, err := c.Get(p, "k")
+		if err != nil {
+			t.Errorf("Get: %v", err)
+			return
+		}
+		b, ok := got.Bytes()
+		if !ok || string(b) != string(want) {
+			t.Errorf("Get = %q, want %q", b, want)
+		}
+	})
+}
+
+func TestGetMissing(t *testing.T) {
+	rig(t, fastConfig(), 1, func(p *des.Proc, c *Cluster) {
+		_, err := c.Get(p, "absent")
+		if !IsNotFound(err) {
+			t.Errorf("Get(absent) err = %v, want KeyError", err)
+		}
+		var ke *KeyError
+		if errors.As(err, &ke) && ke.Key != "absent" {
+			t.Errorf("KeyError.Key = %q, want absent", ke.Key)
+		}
+	})
+}
+
+func TestDeleteIdempotent(t *testing.T) {
+	rig(t, fastConfig(), 2, func(p *des.Proc, c *Cluster) {
+		if err := c.Set(p, "k", payload.Sized(100)); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+		if err := c.Delete(p, "k"); err != nil {
+			t.Errorf("Delete: %v", err)
+		}
+		if err := c.Delete(p, "k"); err != nil {
+			t.Errorf("second Delete: %v", err)
+		}
+		if _, err := c.Get(p, "k"); !IsNotFound(err) {
+			t.Errorf("Get after delete err = %v, want KeyError", err)
+		}
+		if got := c.UsedBytes(); got != 0 {
+			t.Errorf("UsedBytes after delete = %d, want 0", got)
+		}
+	})
+}
+
+func TestExists(t *testing.T) {
+	rig(t, fastConfig(), 2, func(p *des.Proc, c *Cluster) {
+		if err := c.Set(p, "k", payload.Sized(10)); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+		ok, err := c.Exists(p, "k")
+		if err != nil || !ok {
+			t.Errorf("Exists(k) = %v, %v; want true, nil", ok, err)
+		}
+		ok, err = c.Exists(p, "nope")
+		if err != nil || ok {
+			t.Errorf("Exists(nope) = %v, %v; want false, nil", ok, err)
+		}
+	})
+}
+
+func TestReplaceReleasesSpace(t *testing.T) {
+	cfg := fastConfig()
+	cfg.NodeMemoryBytes = 1000
+	rig(t, cfg, 1, func(p *des.Proc, c *Cluster) {
+		if err := c.Set(p, "k", payload.Sized(900)); err != nil {
+			t.Fatalf("Set 900: %v", err)
+		}
+		// Replacing with another 900 must not be seen as 1800 in flight.
+		if err := c.Set(p, "k", payload.Sized(900)); err != nil {
+			t.Errorf("replace Set: %v", err)
+		}
+		if got := c.UsedBytes(); got != 900 {
+			t.Errorf("UsedBytes = %d, want 900", got)
+		}
+	})
+}
+
+func TestOutOfMemoryNoEviction(t *testing.T) {
+	cfg := fastConfig()
+	cfg.NodeMemoryBytes = 1000
+	rig(t, cfg, 1, func(p *des.Proc, c *Cluster) {
+		if err := c.Set(p, "a", payload.Sized(800)); err != nil {
+			t.Fatalf("Set a: %v", err)
+		}
+		err := c.Set(p, "b", payload.Sized(300))
+		if !errors.Is(err, ErrOutOfMemory) {
+			t.Errorf("Set b err = %v, want ErrOutOfMemory", err)
+		}
+		// The original value must be intact.
+		if _, err := c.Get(p, "a"); err != nil {
+			t.Errorf("Get a after OOM: %v", err)
+		}
+	})
+}
+
+func TestValueLargerThanNode(t *testing.T) {
+	cfg := fastConfig()
+	cfg.NodeMemoryBytes = 1000
+	cfg.AllowEviction = true
+	rig(t, cfg, 1, func(p *des.Proc, c *Cluster) {
+		err := c.Set(p, "big", payload.Sized(1001))
+		if !errors.Is(err, ErrTooLarge) {
+			t.Errorf("Set err = %v, want ErrTooLarge", err)
+		}
+	})
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	cfg := fastConfig()
+	cfg.NodeMemoryBytes = 1000
+	cfg.AllowEviction = true
+	rig(t, cfg, 1, func(p *des.Proc, c *Cluster) {
+		for _, k := range []string{"a", "b", "c"} {
+			if err := c.Set(p, k, payload.Sized(300)); err != nil {
+				t.Fatalf("Set %s: %v", k, err)
+			}
+		}
+		// Touch "a" so "b" becomes the LRU victim.
+		if _, err := c.Get(p, "a"); err != nil {
+			t.Fatalf("Get a: %v", err)
+		}
+		if err := c.Set(p, "d", payload.Sized(300)); err != nil {
+			t.Fatalf("Set d: %v", err)
+		}
+		if _, err := c.Get(p, "b"); !IsNotFound(err) {
+			t.Errorf("b should have been evicted, Get err = %v", err)
+		}
+		for _, k := range []string{"a", "c", "d"} {
+			if _, err := c.Get(p, k); err != nil {
+				t.Errorf("Get %s after eviction: %v", k, err)
+			}
+		}
+		if got := c.Metrics().Evictions; got != 1 {
+			t.Errorf("Evictions = %d, want 1", got)
+		}
+	})
+}
+
+func TestEvictionFreesEnoughForLargeValue(t *testing.T) {
+	cfg := fastConfig()
+	cfg.NodeMemoryBytes = 1000
+	cfg.AllowEviction = true
+	rig(t, cfg, 1, func(p *des.Proc, c *Cluster) {
+		for i := 0; i < 5; i++ {
+			if err := c.Set(p, fmt.Sprintf("k%d", i), payload.Sized(200)); err != nil {
+				t.Fatalf("Set k%d: %v", i, err)
+			}
+		}
+		if err := c.Set(p, "big", payload.Sized(900)); err != nil {
+			t.Fatalf("Set big: %v", err)
+		}
+		if got := c.UsedBytes(); got > 1000 {
+			t.Errorf("UsedBytes = %d, exceeds capacity", got)
+		}
+		if _, err := c.Get(p, "big"); err != nil {
+			t.Errorf("Get big: %v", err)
+		}
+	})
+}
+
+func TestShardingSpreadsKeys(t *testing.T) {
+	rig(t, fastConfig(), 4, func(p *des.Proc, c *Cluster) {
+		counts := make([]int, 4)
+		for i := 0; i < 400; i++ {
+			counts[c.NodeIndexFor(fmt.Sprintf("key-%d", i))]++
+		}
+		for n, got := range counts {
+			if got < 50 || got > 150 {
+				t.Errorf("node %d holds %d/400 keys; hash badly skewed", n, got)
+			}
+		}
+	})
+}
+
+func TestStoppedClusterRejectsOps(t *testing.T) {
+	rig(t, fastConfig(), 1, func(p *des.Proc, c *Cluster) {
+		c.Stop()
+		c.Stop() // idempotent
+		if err := c.Set(p, "k", payload.Sized(1)); !errors.Is(err, ErrStopped) {
+			t.Errorf("Set on stopped err = %v, want ErrStopped", err)
+		}
+		if _, err := c.Get(p, "k"); !errors.Is(err, ErrStopped) {
+			t.Errorf("Get on stopped err = %v, want ErrStopped", err)
+		}
+		if err := c.Delete(p, "k"); !errors.Is(err, ErrStopped) {
+			t.Errorf("Delete on stopped err = %v, want ErrStopped", err)
+		}
+		if _, err := c.Exists(p, "k"); !errors.Is(err, ErrStopped) {
+			t.Errorf("Exists on stopped err = %v, want ErrStopped", err)
+		}
+	})
+}
+
+func TestBillingStopsAtStop(t *testing.T) {
+	cfg := fastConfig()
+	cfg.ProvisionTime = time.Minute
+	sim := des.New(1)
+	pr, err := NewProvisioner(sim, cfg)
+	if err != nil {
+		t.Fatalf("NewProvisioner: %v", err)
+	}
+	sim.Spawn("test", func(p *des.Proc) {
+		c, err := pr.Provision(p, 2)
+		if err != nil {
+			t.Errorf("Provision: %v", err)
+			return
+		}
+		p.Sleep(2 * time.Minute)
+		c.Stop()
+		p.Sleep(time.Hour) // must not be billed
+
+		// Billing runs from the provision request: 1 min spin-up + 2 min use.
+		want := 3 * time.Minute
+		if got := c.BilledDuration(); got != want {
+			t.Errorf("BilledDuration = %v, want %v", got, want)
+		}
+		wantUSD := want.Hours() * cfg.NodeHourlyUSD * 2
+		if got := c.Cost(); math.Abs(got-wantUSD) > 1e-12 {
+			t.Errorf("Cost = %g, want %g", got, wantUSD)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestRequestLatencyCharged(t *testing.T) {
+	cfg := fastConfig()
+	cfg.RequestLatency = 5 * time.Millisecond
+	rig(t, cfg, 1, func(p *des.Proc, c *Cluster) {
+		start := p.Now()
+		if err := c.Set(p, "k", payload.Sized(0)); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+		if _, err := c.Get(p, "k"); err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if got, want := p.Now()-start, 10*time.Millisecond; got != want {
+			t.Errorf("two zero-byte requests took %v, want %v", got, want)
+		}
+	})
+}
+
+func TestTransferTimeScalesWithSize(t *testing.T) {
+	cfg := fastConfig()
+	cfg.PerConnBandwidth = 1e6 // 1 MB/s
+	rig(t, cfg, 1, func(p *des.Proc, c *Cluster) {
+		start := p.Now()
+		if err := c.Set(p, "k", payload.Sized(500_000)); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+		if got, want := p.Now()-start, 500*time.Millisecond; got != want {
+			t.Errorf("0.5 MB at 1 MB/s took %v, want %v", got, want)
+		}
+	})
+}
+
+func TestNodeBandwidthSharedFairly(t *testing.T) {
+	cfg := fastConfig()
+	cfg.PerConnBandwidth = 1e9
+	cfg.NodeBandwidth = 1e6 // 1 MB/s NIC
+	sim := des.New(1)
+	pr, err := NewProvisioner(sim, cfg)
+	if err != nil {
+		t.Fatalf("NewProvisioner: %v", err)
+	}
+	var elapsed time.Duration
+	sim.Spawn("test", func(p *des.Proc) {
+		c, err := pr.Provision(p, 1)
+		if err != nil {
+			t.Errorf("Provision: %v", err)
+			return
+		}
+		start := p.Now()
+		wg := des.NewWaitGroup(sim)
+		for i := 0; i < 2; i++ {
+			i := i
+			wg.Add(1)
+			p.Spawn(fmt.Sprintf("w%d", i), func(wp *des.Proc) {
+				defer wg.Done()
+				if err := c.Set(wp, fmt.Sprintf("k%d", i), payload.Sized(500_000)); err != nil {
+					t.Errorf("Set: %v", err)
+				}
+			})
+		}
+		wg.Wait(p)
+		elapsed = p.Now() - start
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	// Two 0.5 MB transfers sharing a 1 MB/s NIC: 1 second total.
+	if want := time.Second; elapsed != want {
+		t.Errorf("two concurrent transfers took %v, want %v", elapsed, want)
+	}
+}
+
+func TestOpsThrottle(t *testing.T) {
+	cfg := fastConfig()
+	cfg.NodeOpsPerSec = 100
+	cfg.OpsBurst = 1
+	rig(t, cfg, 1, func(p *des.Proc, c *Cluster) {
+		start := p.Now()
+		for i := 0; i < 51; i++ {
+			if err := c.Set(p, fmt.Sprintf("k%d", i), payload.Sized(0)); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+		}
+		elapsed := (p.Now() - start).Seconds()
+		// 51 ops at 100/s with burst 1: ~0.5s.
+		if elapsed < 0.4 || elapsed > 0.6 {
+			t.Errorf("51 throttled ops took %.3fs, want ~0.5s", elapsed)
+		}
+	})
+}
+
+func TestMetricsCounting(t *testing.T) {
+	rig(t, fastConfig(), 2, func(p *des.Proc, c *Cluster) {
+		before := c.Metrics()
+		_ = c.Set(p, "a", payload.Sized(100))
+		_, _ = c.Get(p, "a")
+		_, _ = c.Get(p, "missing")
+		_ = c.Delete(p, "a")
+		m := c.Metrics().Sub(before)
+		if m.SetOps != 1 || m.GetOps != 2 || m.DeleteOps != 1 {
+			t.Errorf("ops = %+v, want 1 set / 2 get / 1 delete", m)
+		}
+		if m.Hits != 1 || m.Misses != 1 {
+			t.Errorf("hits/misses = %d/%d, want 1/1", m.Hits, m.Misses)
+		}
+		if m.BytesIn != 100 || m.BytesOut != 100 {
+			t.Errorf("bytes = %d in / %d out, want 100/100", m.BytesIn, m.BytesOut)
+		}
+	})
+}
+
+func TestNodesForCapacity(t *testing.T) {
+	cfg := fastConfig() // 1 MiB nodes
+	cases := []struct {
+		bytes    int64
+		headroom float64
+		want     int
+	}{
+		{1, 1, 1},
+		{1 << 20, 1, 1},
+		{1<<20 + 1, 1, 2},
+		{1 << 20, 1.5, 2},
+		{10 << 20, 1, 10},
+		{0, 1, 1},
+	}
+	for _, tc := range cases {
+		if got := NodesForCapacity(cfg, tc.bytes, tc.headroom); got != tc.want {
+			t.Errorf("NodesForCapacity(%d, %g) = %d, want %d", tc.bytes, tc.headroom, got, tc.want)
+		}
+	}
+}
+
+// TestPropertyUsedNeverExceedsCapacity drives random operation
+// sequences and checks the shard capacity invariant plus Get/Set
+// coherence under eviction.
+func TestPropertyUsedNeverExceedsCapacity(t *testing.T) {
+	f := func(ops []uint16, evict bool) bool {
+		cfg := fastConfig()
+		cfg.NodeMemoryBytes = 4096
+		cfg.AllowEviction = evict
+		sim := des.New(42)
+		pr, err := NewProvisioner(sim, cfg)
+		if err != nil {
+			return false
+		}
+		okAll := true
+		sim.Spawn("prop", func(p *des.Proc) {
+			c, err := pr.Provision(p, 3)
+			if err != nil {
+				okAll = false
+				return
+			}
+			for _, op := range ops {
+				key := fmt.Sprintf("k%d", op%17)
+				size := int64(op % 3000)
+				switch op % 3 {
+				case 0:
+					err := c.Set(p, key, payload.Sized(size))
+					if err != nil && !errors.Is(err, ErrOutOfMemory) {
+						okAll = false
+						return
+					}
+				case 1:
+					if _, err := c.Get(p, key); err != nil && !IsNotFound(err) {
+						okAll = false
+						return
+					}
+				case 2:
+					if err := c.Delete(p, key); err != nil {
+						okAll = false
+						return
+					}
+				}
+				if c.UsedBytes() > c.CapacityBytes() {
+					okAll = false
+					return
+				}
+			}
+		})
+		if err := sim.Run(); err != nil {
+			return false
+		}
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyShardingDeterministic checks that the shard mapping is a
+// pure function of the key.
+func TestPropertyShardingDeterministic(t *testing.T) {
+	rig(t, fastConfig(), 5, func(p *des.Proc, c *Cluster) {
+		f := func(key string) bool {
+			a := c.NodeIndexFor(key)
+			b := c.NodeIndexFor(key)
+			return a == b && a >= 0 && a < 5
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	})
+}

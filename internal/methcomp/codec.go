@@ -1,0 +1,388 @@
+package methcomp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+)
+
+// Format: "MCZ1" magic, format version byte, varint record count,
+// chromosome dictionary, chromosome run list, flags byte, then the
+// range-coded stream; optional raw trailer sections for name/score
+// exceptions.
+const (
+	magic   = "MCZ1"
+	version = 1
+)
+
+const (
+	flagNamesDot     = 1 << 0 // every Name is "."
+	flagScoreDerived = 1 << 1 // every Score == min(Coverage, 1000)
+)
+
+// methContexts buckets the previous methylation level into contexts
+// for the adaptive model: unmethylated, intermediate, methylated.
+func methContext(prev int) int {
+	switch {
+	case prev <= 15:
+		return 0
+	case prev < 85:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// deltaContext buckets the previous position delta's bit length so
+// island-dense and open-sea regions adapt separately.
+func deltaContext(prevBits int) int {
+	switch {
+	case prevBits <= 6:
+		return 0
+	case prevBits <= 10:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Compress encodes records into the METHCOMP container. Records may
+// be in any order; sorted input (the pipeline's normal case) yields
+// the headline compression ratios because position deltas collapse.
+func Compress(recs []bed.Record) ([]byte, error) {
+	for i := range recs {
+		if err := recs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("methcomp: record %d: %w", i, err)
+		}
+	}
+
+	out := make([]byte, 0, 64+len(recs)/2)
+	out = append(out, magic...)
+	out = append(out, version)
+	out = binary.AppendUvarint(out, uint64(len(recs)))
+
+	// Chromosome dictionary in first-appearance order, plus the run
+	// list (records arrive grouped by chromosome when sorted; unsorted
+	// input just produces more, shorter runs).
+	chromIdx := make(map[string]int)
+	var chroms []string
+	type run struct {
+		chrom int
+		n     int
+	}
+	var runs []run
+	for _, r := range recs {
+		ci, ok := chromIdx[r.Chrom]
+		if !ok {
+			ci = len(chroms)
+			chromIdx[r.Chrom] = ci
+			chroms = append(chroms, r.Chrom)
+		}
+		if len(runs) > 0 && runs[len(runs)-1].chrom == ci {
+			runs[len(runs)-1].n++
+		} else {
+			runs = append(runs, run{chrom: ci, n: 1})
+		}
+	}
+	out = binary.AppendUvarint(out, uint64(len(chroms)))
+	for _, c := range chroms {
+		out = binary.AppendUvarint(out, uint64(len(c)))
+		out = append(out, c...)
+	}
+	out = binary.AppendUvarint(out, uint64(len(runs)))
+	for _, r := range runs {
+		out = binary.AppendUvarint(out, uint64(r.chrom))
+		out = binary.AppendUvarint(out, uint64(r.n))
+	}
+
+	// Exception flags.
+	flags := byte(flagNamesDot | flagScoreDerived)
+	for _, r := range recs {
+		if r.Name != "." {
+			flags &^= flagNamesDot
+		}
+		want := r.Coverage
+		if want > 1000 {
+			want = 1000
+		}
+		if r.Score != want {
+			flags &^= flagScoreDerived
+		}
+	}
+	out = append(out, flags)
+
+	// Range-coded streams.
+	enc := newRangeEncoder()
+	deltas := [3]*uintCoder{newUintCoder(), newUintCoder(), newUintCoder()}
+	lengths := newUintCoder()
+	coverage := newUintCoder()
+	strand := prob(probInit)
+	meths := [3]*bitTree{newBitTree(7), newBitTree(7), newBitTree(7)}
+
+	prevStart := int64(0)
+	prevChrom := -1
+	prevBits := 0
+	prevMeth := 100
+	for _, r := range recs {
+		ci := chromIdx[r.Chrom]
+		if ci != prevChrom {
+			prevStart = 0
+			prevBits = 0
+			prevChrom = ci
+		}
+		d := zigzag(r.Start - prevStart)
+		deltas[deltaContext(prevBits)].encode(enc, d)
+		prevBits = bitLen(d)
+		prevStart = r.Start
+
+		lengths.encode(enc, uint64(r.End-r.Start-1)) // lengths are >= 1
+		coverage.encode(enc, uint64(r.Coverage))
+
+		sb := 0
+		if r.Strand == '-' {
+			sb = 1
+		} else if r.Strand == '.' {
+			// '.' is folded into '+' plus an exceptions map; bedMethyl
+			// files use +/- exclusively, so treat '.' as an error here
+			// to keep the format honest.
+			return nil, fmt.Errorf("methcomp: strand '.' unsupported in container v1")
+		}
+		enc.encodeBit(&strand, sb)
+
+		meths[methContext(prevMeth)].encode(enc, uint32(r.MethPct))
+		prevMeth = r.MethPct
+	}
+	coded := enc.finish()
+	out = binary.AppendUvarint(out, uint64(len(coded)))
+	out = append(out, coded...)
+
+	// Raw exception trailers.
+	if flags&flagNamesDot == 0 {
+		for _, r := range recs {
+			out = binary.AppendUvarint(out, uint64(len(r.Name)))
+			out = append(out, r.Name...)
+		}
+	}
+	if flags&flagScoreDerived == 0 {
+		for _, r := range recs {
+			out = binary.AppendUvarint(out, uint64(r.Score))
+		}
+	}
+	return out, nil
+}
+
+// reader tracks a position in the container's raw sections.
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.buf) {
+		return nil, ErrCorrupt
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+// Decompress decodes a METHCOMP container back into records.
+func Decompress(data []byte) ([]bed.Record, error) {
+	r := &reader{buf: data}
+	mg, err := r.bytes(len(magic) + 1)
+	if err != nil {
+		return nil, err
+	}
+	if string(mg[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if mg[4] != version {
+		return nil, fmt.Errorf("methcomp: unsupported version %d", mg[4])
+	}
+	count64, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count64 > 1<<34 {
+		return nil, fmt.Errorf("%w: absurd record count %d", ErrCorrupt, count64)
+	}
+	count := int(count64)
+
+	nChroms, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nChroms > 1<<20 {
+		return nil, fmt.Errorf("%w: absurd chrom count", ErrCorrupt)
+	}
+	chroms := make([]string, nChroms)
+	for i := range chroms {
+		ln, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.bytes(int(ln))
+		if err != nil {
+			return nil, err
+		}
+		chroms[i] = string(b)
+	}
+	nRuns, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	type run struct {
+		chrom int
+		n     int
+	}
+	runs := make([]run, 0, nRuns)
+	var runTotal uint64
+	for i := uint64(0); i < nRuns; i++ {
+		ci, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ci >= nChroms {
+			return nil, fmt.Errorf("%w: chrom index out of range", ErrCorrupt)
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run{chrom: int(ci), n: int(n)})
+		runTotal += n
+	}
+	if runTotal != count64 {
+		return nil, fmt.Errorf("%w: run total %d != count %d", ErrCorrupt, runTotal, count)
+	}
+	flagB, err := r.bytes(1)
+	if err != nil {
+		return nil, err
+	}
+	flags := flagB[0]
+
+	codedLen, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	coded, err := r.bytes(int(codedLen))
+	if err != nil {
+		return nil, err
+	}
+	dec, err := newRangeDecoder(coded)
+	if err != nil {
+		return nil, err
+	}
+
+	deltas := [3]*uintCoder{newUintCoder(), newUintCoder(), newUintCoder()}
+	lengths := newUintCoder()
+	coverage := newUintCoder()
+	strand := prob(probInit)
+	meths := [3]*bitTree{newBitTree(7), newBitTree(7), newBitTree(7)}
+
+	recs := make([]bed.Record, 0, count)
+	prevMeth := 100
+	for _, rn := range runs {
+		prevStart := int64(0)
+		prevBits := 0
+		for k := 0; k < rn.n; k++ {
+			d := deltas[deltaContext(prevBits)].decode(dec)
+			prevBits = bitLen(d)
+			start := prevStart + unzigzag(d)
+			prevStart = start
+			length := int64(lengths.decode(dec)) + 1
+			cov := int(coverage.decode(dec))
+			sb := dec.decodeBit(&strand)
+			meth := int(meths[methContext(prevMeth)].decode(dec))
+			prevMeth = meth
+
+			rec := bed.Record{
+				Chrom:    chroms[rn.chrom],
+				Start:    start,
+				End:      start + length,
+				Name:     ".",
+				Strand:   '+',
+				Coverage: cov,
+				MethPct:  meth,
+			}
+			if sb == 1 {
+				rec.Strand = '-'
+			}
+			rec.Score = cov
+			if rec.Score > 1000 {
+				rec.Score = 1000
+			}
+			recs = append(recs, rec)
+		}
+	}
+
+	if flags&flagNamesDot == 0 {
+		for i := range recs {
+			ln, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			b, err := r.bytes(int(ln))
+			if err != nil {
+				return nil, err
+			}
+			recs[i].Name = string(b)
+		}
+	}
+	if flags&flagScoreDerived == 0 {
+		for i := range recs {
+			s, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			recs[i].Score = int(s)
+		}
+	}
+	for i := range recs {
+		if err := recs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("%w: decoded record %d invalid: %v", ErrCorrupt, i, err)
+		}
+	}
+	return recs, nil
+}
+
+// Stats summarizes a compression run.
+type Stats struct {
+	Records         int
+	RawBytes        int // TSV size
+	CompressedBytes int
+	Ratio           float64 // raw / compressed
+	BytesPerRecord  float64
+}
+
+// Measure compresses records and reports size statistics against
+// their TSV rendering.
+func Measure(recs []bed.Record) (Stats, []byte, error) {
+	raw := bed.Marshal(recs)
+	comp, err := Compress(recs)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	st := Stats{
+		Records:         len(recs),
+		RawBytes:        len(raw),
+		CompressedBytes: len(comp),
+	}
+	if len(comp) > 0 {
+		st.Ratio = float64(len(raw)) / float64(len(comp))
+	}
+	if len(recs) > 0 {
+		st.BytesPerRecord = float64(len(comp)) / float64(len(recs))
+	}
+	return st, comp, nil
+}

@@ -1,0 +1,323 @@
+package methcomp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+)
+
+func genSorted(n int, seed int64) []bed.Record {
+	return bed.Generate(bed.GenConfig{Records: n, Seed: seed, Sorted: true})
+}
+
+func TestRoundtripSorted(t *testing.T) {
+	recs := genSorted(5000, 1)
+	comp, err := Compress(recs)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	back, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("count = %d, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if recs[i] != back[i] {
+			t.Fatalf("record %d: %+v != %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestRoundtripUnsorted(t *testing.T) {
+	recs := bed.Generate(bed.GenConfig{Records: 3000, Seed: 2, Sorted: false})
+	comp, err := Compress(recs)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	back, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	for i := range recs {
+		if recs[i] != back[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestRoundtripEmpty(t *testing.T) {
+	comp, err := Compress(nil)
+	if err != nil {
+		t.Fatalf("Compress(nil): %v", err)
+	}
+	back, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if len(back) != 0 {
+		t.Fatalf("decoded %d records from empty input", len(back))
+	}
+}
+
+func TestRoundtripSingleRecord(t *testing.T) {
+	recs := []bed.Record{{
+		Chrom: "chr9", Start: 141213431, End: 141213433, Name: ".",
+		Score: 1000, Strand: '-', Coverage: 4242, MethPct: 63,
+	}}
+	comp, err := Compress(recs)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	back, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if back[0] != recs[0] {
+		t.Fatalf("got %+v, want %+v", back[0], recs[0])
+	}
+}
+
+func TestRoundtripNameExceptions(t *testing.T) {
+	recs := genSorted(100, 3)
+	recs[17].Name = "cpg_island_17"
+	recs[54].Name = "x"
+	comp, err := Compress(recs)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	back, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	for i := range recs {
+		if recs[i] != back[i] {
+			t.Fatalf("record %d: %+v != %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestRoundtripScoreExceptions(t *testing.T) {
+	recs := genSorted(100, 4)
+	recs[9].Score = 7 // decouple from coverage
+	comp, err := Compress(recs)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	back, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	for i := range recs {
+		if recs[i] != back[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestCompressRejectsInvalid(t *testing.T) {
+	_, err := Compress([]bed.Record{{Chrom: "", Start: 1, End: 2}})
+	if err == nil {
+		t.Fatal("invalid record accepted")
+	}
+}
+
+func TestCompressRejectsDotStrand(t *testing.T) {
+	_, err := Compress([]bed.Record{{
+		Chrom: "chr1", Start: 1, End: 2, Name: ".", Strand: '.', MethPct: 0,
+	}})
+	if err == nil {
+		t.Fatal("'.' strand accepted by container v1")
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte("NOPE\x01\x00"),
+		[]byte("MCZ1\x63\x00"), // wrong version
+	}
+	for i, c := range cases {
+		if _, err := Decompress(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestDecompressRejectsTruncated(t *testing.T) {
+	comp, err := Compress(genSorted(500, 5))
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	for _, cut := range []int{len(comp) / 4, len(comp) / 2, len(comp) - 3} {
+		if _, err := Decompress(comp[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecompressRejectsBitflips(t *testing.T) {
+	comp, err := Compress(genSorted(300, 6))
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rejectedOrChanged := 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		mut := make([]byte, len(comp))
+		copy(mut, comp)
+		pos := rng.Intn(len(mut))
+		mut[pos] ^= 1 << uint(rng.Intn(8))
+		back, err := Decompress(mut)
+		if err != nil {
+			rejectedOrChanged++
+			continue
+		}
+		orig, _ := Decompress(comp)
+		same := len(back) == len(orig)
+		if same {
+			for j := range back {
+				if back[j] != orig[j] {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			rejectedOrChanged++
+		}
+	}
+	// A bit flip must never be silently absorbed as identical output;
+	// a handful may land in dead padding, but the vast majority must
+	// be detected or alter the decode.
+	if rejectedOrChanged < trials*3/4 {
+		t.Fatalf("only %d/%d bit flips had any effect", rejectedOrChanged, trials)
+	}
+}
+
+func TestCompressionBeatsGzipSubstantially(t *testing.T) {
+	recs := genSorted(100000, 7)
+	cmp, err := Compare(recs)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if cmp.Ratio < 10 {
+		t.Fatalf("methcomp ratio = %.2f, want >= 10x raw", cmp.Ratio)
+	}
+	if cmp.Advantage < 2.5 {
+		t.Fatalf("advantage over gzip = %.2fx (methcomp %.1fx vs gzip %.1fx), want >= 2.5x",
+			cmp.Advantage, cmp.Ratio, cmp.GzipRatio)
+	}
+	t.Logf("methcomp %.1fx, gzip %.1fx, advantage %.1fx, %.2f B/record",
+		cmp.Ratio, cmp.GzipRatio, cmp.Advantage, cmp.BytesPerRecord)
+}
+
+func TestSortedCompressesBetterThanUnsorted(t *testing.T) {
+	sorted := genSorted(20000, 8)
+	unsorted := bed.Generate(bed.GenConfig{Records: 20000, Seed: 8, Sorted: false})
+	sc, err := Compress(sorted)
+	if err != nil {
+		t.Fatalf("Compress sorted: %v", err)
+	}
+	uc, err := Compress(unsorted)
+	if err != nil {
+		t.Fatalf("Compress unsorted: %v", err)
+	}
+	if len(sc) >= len(uc) {
+		t.Fatalf("sorted %dB >= unsorted %dB; sort stage would be pointless", len(sc), len(uc))
+	}
+}
+
+func TestMeasureStats(t *testing.T) {
+	recs := genSorted(1000, 9)
+	st, comp, err := Measure(recs)
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if st.Records != 1000 || st.CompressedBytes != len(comp) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Ratio <= 1 {
+		t.Fatalf("ratio = %.2f, want > 1", st.Ratio)
+	}
+}
+
+func TestPropertyRoundtripArbitraryRecords(t *testing.T) {
+	f := func(seeds []uint32, covs []uint16, meths []uint8) bool {
+		n := len(seeds)
+		if n == 0 {
+			return true
+		}
+		if len(covs) < n || len(meths) < n {
+			return true // skip mismatched draws
+		}
+		recs := make([]bed.Record, n)
+		pos := int64(1)
+		for i := 0; i < n; i++ {
+			pos += int64(seeds[i]%100000) + 1
+			cov := int(covs[i])
+			score := cov
+			if score > 1000 {
+				score = 1000
+			}
+			strand := byte('+')
+			if seeds[i]&1 == 1 {
+				strand = '-'
+			}
+			recs[i] = bed.Record{
+				Chrom:    "chr" + string(rune('1'+seeds[i]%9)),
+				Start:    pos,
+				End:      pos + int64(seeds[i]%17) + 1,
+				Name:     ".",
+				Score:    score,
+				Strand:   strand,
+				Coverage: cov,
+				MethPct:  int(meths[i]) % 101,
+			}
+		}
+		comp, err := Compress(recs)
+		if err != nil {
+			return false
+		}
+		back, err := Decompress(comp)
+		if err != nil || len(back) != n {
+			return false
+		}
+		for i := range recs {
+			if recs[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDecompressNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, err := Decompress(data)
+		_ = err
+		return true // reaching here means no panic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressCorruptIsErrCorrupt(t *testing.T) {
+	_, err := Decompress([]byte("MCZ1\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	if err == nil {
+		t.Fatal("absurd count accepted")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

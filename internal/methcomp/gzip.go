@@ -1,0 +1,58 @@
+package methcomp
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+)
+
+// GzipSize reports the gzip (best compression) size of the records'
+// TSV rendering — the baseline METHCOMP is compared against.
+func GzipSize(recs []bed.Record) (int, error) {
+	raw := bed.Marshal(recs)
+	var buf bytes.Buffer
+	zw, err := gzip.NewWriterLevel(&buf, gzip.BestCompression)
+	if err != nil {
+		return 0, fmt.Errorf("methcomp: gzip init: %w", err)
+	}
+	if _, err := zw.Write(raw); err != nil {
+		return 0, fmt.Errorf("methcomp: gzip write: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return 0, fmt.Errorf("methcomp: gzip close: %w", err)
+	}
+	return buf.Len(), nil
+}
+
+// Comparison reports METHCOMP-vs-gzip on the same records: the
+// paper's §2.1 claim is that METHCOMP's ratio is about an order of
+// magnitude better than gzip's.
+type Comparison struct {
+	Stats
+	GzipBytes int
+	GzipRatio float64
+	// Advantage is methcomp ratio / gzip ratio (>1 means better).
+	Advantage float64
+}
+
+// Compare compresses records with both codecs.
+func Compare(recs []bed.Record) (Comparison, error) {
+	st, _, err := Measure(recs)
+	if err != nil {
+		return Comparison{}, err
+	}
+	gz, err := GzipSize(recs)
+	if err != nil {
+		return Comparison{}, err
+	}
+	cmp := Comparison{Stats: st, GzipBytes: gz}
+	if gz > 0 {
+		cmp.GzipRatio = float64(st.RawBytes) / float64(gz)
+	}
+	if cmp.GzipRatio > 0 && st.Ratio > 0 {
+		cmp.Advantage = st.Ratio / cmp.GzipRatio
+	}
+	return cmp, nil
+}

@@ -1,0 +1,185 @@
+package objectstore
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/des"
+)
+
+// Client is the SDK-style wrapper functions and VMs use to talk to the
+// store: it retries throttling failures with exponential backoff and
+// can carry a flow cap modeling the caller's NIC share.
+type Client struct {
+	svc *Service
+	// FlowCap, when > 0, caps every transfer's rate (bytes/second) in
+	// addition to the service's per-connection ceiling.
+	FlowCap float64
+	// MaxRetries bounds retry attempts for ErrSlowDown (default 6).
+	MaxRetries int
+	// BackoffBase is the first retry delay, doubled per attempt
+	// (default 100ms).
+	BackoffBase time.Duration
+
+	retries int64
+}
+
+// NewClient returns a client for svc with default retry policy.
+func NewClient(svc *Service) *Client {
+	return &Client{svc: svc, MaxRetries: 6, BackoffBase: 100 * time.Millisecond}
+}
+
+// WithFlowCap returns a copy of the client whose transfers are capped
+// at bps bytes/second.
+func (c *Client) WithFlowCap(bps float64) *Client {
+	cp := *c
+	cp.FlowCap = bps
+	cp.retries = 0
+	return &cp
+}
+
+// Service exposes the underlying service (for metrics snapshots).
+func (c *Client) Service() *Service { return c.svc }
+
+// Retries reports how many throttled requests this client retried.
+func (c *Client) Retries() int64 { return c.retries }
+
+// retry runs op, backing off on ErrSlowDown up to MaxRetries times.
+func (c *Client) retry(p *des.Proc, op func() error) error {
+	backoff := c.BackoffBase
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	maxRetries := c.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 6
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || !errors.Is(err, ErrSlowDown) {
+			return err
+		}
+		if attempt >= maxRetries {
+			return fmt.Errorf("objectstore: retries exhausted: %w", err)
+		}
+		c.retries++
+		p.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// CreateBucket creates a bucket, tolerating that it already exists.
+func (c *Client) CreateBucket(p *des.Proc, name string) error {
+	err := c.retry(p, func() error { return c.svc.CreateBucket(p, name) })
+	if errors.Is(err, ErrBucketExists) {
+		return nil
+	}
+	return err
+}
+
+// Put stores an object with retry.
+func (c *Client) Put(p *des.Proc, bkt, key string, pl payload.Payload) error {
+	return c.retry(p, func() error { return c.svc.Put(p, bkt, key, pl, c.FlowCap) })
+}
+
+// Get retrieves an object with retry.
+func (c *Client) Get(p *des.Proc, bkt, key string) (payload.Payload, error) {
+	var out payload.Payload
+	err := c.retry(p, func() error {
+		var err error
+		out, err = c.svc.Get(p, bkt, key, c.FlowCap)
+		return err
+	})
+	return out, err
+}
+
+// GetRange retrieves part of an object with retry.
+func (c *Client) GetRange(p *des.Proc, bkt, key string, off, n int64) (payload.Payload, error) {
+	var out payload.Payload
+	err := c.retry(p, func() error {
+		var err error
+		out, err = c.svc.GetRange(p, bkt, key, off, n, c.FlowCap)
+		return err
+	})
+	return out, err
+}
+
+// Head fetches object metadata with retry.
+func (c *Client) Head(p *des.Proc, bkt, key string) (Object, error) {
+	var out Object
+	err := c.retry(p, func() error {
+		var err error
+		out, err = c.svc.Head(p, bkt, key)
+		return err
+	})
+	return out, err
+}
+
+// Delete removes an object with retry.
+func (c *Client) Delete(p *des.Proc, bkt, key string) error {
+	return c.retry(p, func() error { return c.svc.Delete(p, bkt, key) })
+}
+
+// Copy server-side copies an object with retry.
+func (c *Client) Copy(p *des.Proc, srcBkt, srcKey, dstBkt, dstKey string) error {
+	return c.retry(p, func() error { return c.svc.Copy(p, srcBkt, srcKey, dstBkt, dstKey) })
+}
+
+// DeleteBatch removes up to 1000 keys in one request with retry.
+func (c *Client) DeleteBatch(p *des.Proc, bkt string, keys []string) error {
+	return c.retry(p, func() error { return c.svc.DeleteBatch(p, bkt, keys) })
+}
+
+// PurgePrefix deletes every object under prefix, paging through the
+// listing and batch-deleting each page. It returns the number of keys
+// removed — the lifecycle reaper a pipeline runs over its scratch
+// space.
+func (c *Client) PurgePrefix(p *des.Proc, bkt, prefix string) (int, error) {
+	removed := 0
+	for {
+		var page ListPage
+		err := c.retry(p, func() error {
+			var err error
+			page, err = c.svc.List(p, bkt, prefix, "", 0)
+			return err
+		})
+		if err != nil {
+			return removed, err
+		}
+		if len(page.Keys) == 0 {
+			return removed, nil
+		}
+		if err := c.DeleteBatch(p, bkt, page.Keys); err != nil {
+			return removed, err
+		}
+		removed += len(page.Keys)
+		if !page.Truncated {
+			return removed, nil
+		}
+	}
+}
+
+// ListAll drains every page of a prefix listing.
+func (c *Client) ListAll(p *des.Proc, bkt, prefix string) ([]string, error) {
+	var all []string
+	startAfter := ""
+	for {
+		var page ListPage
+		err := c.retry(p, func() error {
+			var err error
+			page, err = c.svc.List(p, bkt, prefix, startAfter, 0)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Keys...)
+		if !page.Truncated || len(page.Keys) == 0 {
+			return all, nil
+		}
+		startAfter = page.Keys[len(page.Keys)-1]
+	}
+}

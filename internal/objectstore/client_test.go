@@ -1,0 +1,124 @@
+package objectstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/des"
+)
+
+func TestClientRetriesSlowDown(t *testing.T) {
+	cfg := fastConfig()
+	cfg.FailureRate = 0.4
+	svc, err := New(des.New(7), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c := NewClient(svc)
+	var putErr, getErr error
+	runSim(t, svc, func(p *des.Proc) {
+		_ = c.CreateBucket(p, "b")
+		for i := 0; i < 50; i++ {
+			if e := c.Put(p, "b", fmt.Sprintf("k%d", i), payload.Sized(1)); e != nil {
+				putErr = e
+			}
+			if _, e := c.Get(p, "b", fmt.Sprintf("k%d", i)); e != nil {
+				getErr = e
+			}
+		}
+	})
+	if putErr != nil || getErr != nil {
+		t.Fatalf("client ops failed despite retry: put=%v get=%v", putErr, getErr)
+	}
+	if c.Retries() == 0 {
+		t.Fatal("no retries recorded at 40% failure rate")
+	}
+}
+
+func TestClientRetriesExhaust(t *testing.T) {
+	cfg := fastConfig()
+	cfg.FailureRate = 0.99
+	svc, err := New(des.New(7), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c := NewClient(svc)
+	c.MaxRetries = 2
+	var gotErr error
+	runSim(t, svc, func(p *des.Proc) {
+		gotErr = c.Put(p, "missing-bucket-anyway", "k", payload.Sized(1))
+	})
+	if gotErr == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	if !errors.Is(gotErr, ErrSlowDown) && !errors.Is(gotErr, ErrNoSuchBucket) {
+		t.Fatalf("err = %v, want SlowDown or NoSuchBucket", gotErr)
+	}
+}
+
+func TestClientDoesNotRetryNotFound(t *testing.T) {
+	svc := newFast(t)
+	c := NewClient(svc)
+	runSim(t, svc, func(p *des.Proc) {
+		_ = c.CreateBucket(p, "b")
+		_, err := c.Get(p, "b", "ghost")
+		var ke *KeyError
+		if !errors.As(err, &ke) {
+			t.Errorf("Get = %v, want KeyError", err)
+		}
+	})
+	if c.Retries() != 0 {
+		t.Fatalf("client retried a permanent error %d times", c.Retries())
+	}
+}
+
+func TestClientCreateBucketIdempotent(t *testing.T) {
+	svc := newFast(t)
+	c := NewClient(svc)
+	runSim(t, svc, func(p *des.Proc) {
+		if err := c.CreateBucket(p, "b"); err != nil {
+			t.Errorf("first create: %v", err)
+		}
+		if err := c.CreateBucket(p, "b"); err != nil {
+			t.Errorf("second create: %v, want nil (idempotent)", err)
+		}
+	})
+}
+
+func TestClientListAllDrainsPages(t *testing.T) {
+	cfg := fastConfig()
+	cfg.ListPageSize = 2
+	svc, err := New(des.New(1), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c := NewClient(svc)
+	runSim(t, svc, func(p *des.Proc) {
+		_ = c.CreateBucket(p, "b")
+		for i := 0; i < 9; i++ {
+			_ = c.Put(p, "b", fmt.Sprintf("x/%d", i), payload.Sized(1))
+		}
+		keys, err := c.ListAll(p, "b", "x/")
+		if err != nil {
+			t.Errorf("ListAll: %v", err)
+			return
+		}
+		if len(keys) != 9 {
+			t.Errorf("ListAll = %d keys, want 9", len(keys))
+		}
+	})
+}
+
+func TestClientWithFlowCapIndependent(t *testing.T) {
+	svc := newFast(t)
+	base := NewClient(svc)
+	capped := base.WithFlowCap(5e6)
+	if base.FlowCap != 0 {
+		t.Fatal("WithFlowCap mutated the base client")
+	}
+	if capped.FlowCap != 5e6 {
+		t.Fatalf("capped FlowCap = %g", capped.FlowCap)
+	}
+}

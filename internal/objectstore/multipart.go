@@ -1,0 +1,190 @@
+package objectstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/des"
+)
+
+// Multipart upload: the S3/COS protocol for assembling one large
+// object from independently-uploaded parts. Parts upload concurrently
+// over separate connections — this is how a single client (the VM
+// exchange's staging, or a CLI uploading a multi-GB BED file) can
+// exceed the per-connection bandwidth ceiling without splitting the
+// final object.
+
+var (
+	// ErrNoSuchUpload is returned for operations on unknown or
+	// completed upload IDs.
+	ErrNoSuchUpload = errors.New("objectstore: no such multipart upload")
+	// ErrNoParts is returned when completing an upload with no parts.
+	ErrNoParts = errors.New("objectstore: multipart upload has no parts")
+)
+
+// multipartUpload is the service-side state of one in-flight upload.
+type multipartUpload struct {
+	bucket string
+	key    string
+	parts  map[int]payload.Payload
+}
+
+// CreateMultipartUpload starts an upload and returns its ID (class A).
+func (s *Service) CreateMultipartUpload(p *des.Proc, bkt, key string) (string, error) {
+	if err := s.admitWrite(p); err != nil {
+		return "", err
+	}
+	if _, ok := s.buckets[bkt]; !ok {
+		return "", ErrNoSuchBucket
+	}
+	s.uploadSeq++
+	id := fmt.Sprintf("upload-%06d", s.uploadSeq)
+	if s.uploads == nil {
+		s.uploads = make(map[string]*multipartUpload)
+	}
+	s.uploads[id] = &multipartUpload{
+		bucket: bkt,
+		key:    key,
+		parts:  make(map[int]payload.Payload),
+	}
+	return id, nil
+}
+
+// UploadPart transfers one part (class A). Part numbers start at 1;
+// re-uploading a number replaces the part, like S3.
+func (s *Service) UploadPart(p *des.Proc, uploadID string, partNumber int, pl payload.Payload, flowCap float64) error {
+	if partNumber < 1 {
+		return fmt.Errorf("objectstore: part number %d must be >= 1", partNumber)
+	}
+	if err := s.admitWrite(p); err != nil {
+		return err
+	}
+	up, ok := s.uploads[uploadID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchUpload, uploadID)
+	}
+	s.transfer(p, pl.Size(), flowCap)
+	s.metrics.BytesIn += pl.Size()
+	up.parts[partNumber] = pl
+	return nil
+}
+
+// CompleteMultipartUpload assembles the parts in part-number order
+// into the final object (class A; no data transfer — the bytes are
+// already server-side).
+func (s *Service) CompleteMultipartUpload(p *des.Proc, uploadID string) error {
+	if err := s.admitWrite(p); err != nil {
+		return err
+	}
+	up, ok := s.uploads[uploadID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchUpload, uploadID)
+	}
+	if len(up.parts) == 0 {
+		return ErrNoParts
+	}
+	b, ok := s.buckets[up.bucket]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	numbers := make([]int, 0, len(up.parts))
+	for n := range up.parts {
+		numbers = append(numbers, n)
+	}
+	sort.Ints(numbers)
+	ordered := make([]payload.Payload, len(numbers))
+	for i, n := range numbers {
+		ordered[i] = up.parts[n]
+	}
+	whole := payload.Concat(ordered...)
+	delta := whole.Size()
+	if old, ok := b.objects[up.key]; ok {
+		delta -= old.Size
+	}
+	s.adjustStored(delta)
+	b.objects[up.key] = Object{
+		Key:          up.key,
+		Payload:      whole,
+		Size:         whole.Size(),
+		ETag:         etag(whole),
+		LastModified: s.sim.Now(),
+	}
+	delete(s.uploads, uploadID)
+	return nil
+}
+
+// AbortMultipartUpload discards an in-flight upload and its parts.
+// Aborting an unknown ID succeeds (the reaper may have won), like S3.
+func (s *Service) AbortMultipartUpload(p *des.Proc, uploadID string) error {
+	if err := s.admitWrite(p); err != nil {
+		return err
+	}
+	delete(s.uploads, uploadID)
+	return nil
+}
+
+// PutMultipart is the client-side convenience: it splits pl into parts
+// of partSize bytes, uploads up to conns parts concurrently, and
+// completes the upload — blocking p until the object exists.
+func (c *Client) PutMultipart(p *des.Proc, bkt, key string, pl payload.Payload, partSize int64, conns int) error {
+	if partSize <= 0 {
+		return fmt.Errorf("objectstore: part size %d must be positive", partSize)
+	}
+	if conns < 1 {
+		conns = 1
+	}
+	size := pl.Size()
+	if size == 0 {
+		return c.Put(p, bkt, key, pl) // degenerate: plain PUT
+	}
+
+	var uploadID string
+	err := c.retry(p, func() error {
+		var err error
+		uploadID, err = c.svc.CreateMultipartUpload(p, bkt, key)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	n := int((size + partSize - 1) / partSize)
+	errs := make([]error, n)
+	sem := des.NewResource(p.Sim(), int64(conns))
+	wg := des.NewWaitGroup(p.Sim())
+	for i := 0; i < n; i++ {
+		i := i
+		off := int64(i) * partSize
+		length := partSize
+		if off+length > size {
+			length = size - off
+		}
+		wg.Add(1)
+		p.Spawn(fmt.Sprintf("mpu-part-%d", i), func(up *des.Proc) {
+			defer wg.Done()
+			part, err := pl.Slice(off, length)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sem.Acquire(up, 1)
+			defer sem.Release(1)
+			errs[i] = c.retry(up, func() error {
+				return c.svc.UploadPart(up, uploadID, i+1, part, c.FlowCap)
+			})
+		})
+	}
+	wg.Wait(p)
+	for _, err := range errs {
+		if err != nil {
+			abortErr := c.retry(p, func() error { return c.svc.AbortMultipartUpload(p, uploadID) })
+			if abortErr != nil {
+				return fmt.Errorf("objectstore: multipart part failed (%w); abort also failed: %v", err, abortErr)
+			}
+			return fmt.Errorf("objectstore: multipart part: %w", err)
+		}
+	}
+	return c.retry(p, func() error { return c.svc.CompleteMultipartUpload(p, uploadID) })
+}

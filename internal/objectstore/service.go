@@ -1,0 +1,445 @@
+// Package objectstore simulates a cloud object storage service with
+// the performance profile of IBM COS / Amazon S3: per-request latency,
+// a per-connection bandwidth ceiling, a large (but finite) aggregate
+// backend bandwidth shared by all concurrent transfers, and a
+// request-rate throttle of a few thousand operations per second.
+//
+// The paper's whole argument rests on this profile: object storage is
+// slow per request but its aggregate bandwidth scales with the number
+// of concurrent functions, so shuffling through it beats funnelling
+// data through one VM when the right number of functions is used.
+//
+// All methods must be called from des process context. The service
+// needs no locking because the simulation kernel runs one process at a
+// time.
+package objectstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/des"
+)
+
+// Config describes the service's performance profile.
+type Config struct {
+	// RequestLatency is the fixed service-side latency added to every
+	// request (time to first byte, excluding transfer).
+	RequestLatency time.Duration
+	// PerConnBandwidth caps a single request's transfer rate in
+	// bytes/second, like a single HTTP connection's ceiling.
+	PerConnBandwidth float64
+	// AggregateBandwidth is the backend fabric capacity in
+	// bytes/second shared by all in-flight transfers (<= 0: unlimited).
+	AggregateBandwidth float64
+	// ReadOpsPerSec and WriteOpsPerSec throttle class B and class A
+	// request admission ("a few thousand operations/s", §1).
+	ReadOpsPerSec  float64
+	WriteOpsPerSec float64
+	// OpsBurst is the token-bucket burst for both throttles.
+	OpsBurst float64
+	// ListPageSize bounds keys per List page (default 1000).
+	ListPageSize int
+	// FailureRate injects ErrSlowDown on requests with this
+	// probability (0..1), drawn from the simulation RNG.
+	FailureRate float64
+}
+
+// DefaultConfig returns a profile resembling a public object storage
+// regional endpoint.
+func DefaultConfig() Config {
+	return Config{
+		RequestLatency:     15 * time.Millisecond,
+		PerConnBandwidth:   100e6, // 100 MB/s per connection
+		AggregateBandwidth: 40e9,  // 40 GB/s backend fabric
+		ReadOpsPerSec:      3000,  // class B throttle
+		WriteOpsPerSec:     1500,  // class A throttle
+		OpsBurst:           100,
+		ListPageSize:       1000,
+		FailureRate:        0,
+	}
+}
+
+func (c Config) validate() error {
+	if c.RequestLatency < 0 {
+		return fmt.Errorf("objectstore: negative RequestLatency %v", c.RequestLatency)
+	}
+	if c.PerConnBandwidth <= 0 {
+		return fmt.Errorf("objectstore: PerConnBandwidth must be positive, got %g", c.PerConnBandwidth)
+	}
+	if c.ReadOpsPerSec <= 0 || c.WriteOpsPerSec <= 0 {
+		return fmt.Errorf("objectstore: ops rates must be positive")
+	}
+	if c.FailureRate < 0 || c.FailureRate >= 1 {
+		return fmt.Errorf("objectstore: FailureRate %g out of [0,1)", c.FailureRate)
+	}
+	return nil
+}
+
+// Object is a stored object's metadata plus payload.
+type Object struct {
+	Key          string
+	Payload      payload.Payload
+	Size         int64
+	ETag         string
+	LastModified time.Duration
+}
+
+type bucket struct {
+	objects map[string]Object
+}
+
+// Service is a simulated object storage endpoint.
+type Service struct {
+	sim       *des.Sim
+	cfg       Config
+	link      *des.Link
+	readTB    *des.TokenBucket
+	writeTB   *des.TokenBucket
+	buckets   map[string]*bucket
+	uploads   map[string]*multipartUpload
+	uploadSeq int64
+	metrics   Metrics
+
+	// curBytes / lastAccrue drive the stored-volume time integral.
+	curBytes   int64
+	lastAccrue time.Duration
+}
+
+// New builds a Service on sim with the given profile.
+func New(sim *des.Sim, cfg Config) (*Service, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ListPageSize <= 0 {
+		cfg.ListPageSize = 1000
+	}
+	if cfg.OpsBurst < 1 {
+		cfg.OpsBurst = 1
+	}
+	return &Service{
+		sim:     sim,
+		cfg:     cfg,
+		link:    des.NewLink(sim, cfg.AggregateBandwidth),
+		readTB:  des.NewTokenBucket(sim, cfg.ReadOpsPerSec, cfg.OpsBurst),
+		writeTB: des.NewTokenBucket(sim, cfg.WriteOpsPerSec, cfg.OpsBurst),
+		buckets: make(map[string]*bucket),
+	}, nil
+}
+
+// Config returns the service profile.
+func (s *Service) Config() Config { return s.cfg }
+
+// Metrics returns a snapshot of the accumulated billing counters,
+// with the stored-volume integral brought up to the current instant.
+func (s *Service) Metrics() Metrics {
+	s.accrue()
+	return s.metrics
+}
+
+// StoredBytes reports the currently stored volume.
+func (s *Service) StoredBytes() int64 { return s.curBytes }
+
+// accrue folds the stored volume since the last mutation into the
+// ByteSeconds integral.
+func (s *Service) accrue() {
+	now := s.sim.Now()
+	if now > s.lastAccrue {
+		s.metrics.ByteSeconds += float64(s.curBytes) * (now - s.lastAccrue).Seconds()
+		s.lastAccrue = now
+	}
+}
+
+// adjustStored changes the stored volume by delta, accruing first so
+// the integral charges the old volume up to now.
+func (s *Service) adjustStored(delta int64) {
+	s.accrue()
+	s.curBytes += delta
+}
+
+// CreateBucket makes a bucket. It is a class A operation.
+func (s *Service) CreateBucket(p *des.Proc, name string) error {
+	if err := s.admitWrite(p); err != nil {
+		return err
+	}
+	if _, ok := s.buckets[name]; ok {
+		return ErrBucketExists
+	}
+	s.buckets[name] = &bucket{objects: make(map[string]Object)}
+	return nil
+}
+
+// DeleteBucket removes an empty bucket.
+func (s *Service) DeleteBucket(p *des.Proc, name string) error {
+	if err := s.admitWrite(p); err != nil {
+		return err
+	}
+	b, ok := s.buckets[name]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	if len(b.objects) > 0 {
+		return ErrBucketNotEmpty
+	}
+	delete(s.buckets, name)
+	return nil
+}
+
+// ListBuckets returns bucket names in sorted order (class A).
+func (s *Service) ListBuckets(p *des.Proc) ([]string, error) {
+	if err := s.admitWrite(p); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(s.buckets))
+	for n := range s.buckets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Put stores an object, transferring its bytes over the shared
+// backend. flowCap > 0 overrides the per-connection bandwidth ceiling
+// for this request (used to model constrained NICs).
+func (s *Service) Put(p *des.Proc, bkt, key string, pl payload.Payload, flowCap float64) error {
+	if err := s.admitWrite(p); err != nil {
+		return err
+	}
+	b, ok := s.buckets[bkt]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	s.transfer(p, pl.Size(), flowCap)
+	s.metrics.BytesIn += pl.Size()
+	delta := pl.Size()
+	if old, ok := b.objects[key]; ok {
+		delta -= old.Size
+	}
+	s.adjustStored(delta)
+	b.objects[key] = Object{
+		Key:          key,
+		Payload:      pl,
+		Size:         pl.Size(),
+		ETag:         etag(pl),
+		LastModified: s.sim.Now(),
+	}
+	return nil
+}
+
+// Get retrieves a whole object (class B).
+func (s *Service) Get(p *des.Proc, bkt, key string, flowCap float64) (payload.Payload, error) {
+	obj, err := s.lookup(p, bkt, key)
+	if err != nil {
+		return nil, err
+	}
+	s.transfer(p, obj.Payload.Size(), flowCap)
+	s.metrics.BytesOut += obj.Payload.Size()
+	return obj.Payload, nil
+}
+
+// GetRange retrieves bytes [off, off+n) of an object (class B).
+func (s *Service) GetRange(p *des.Proc, bkt, key string, off, n int64, flowCap float64) (payload.Payload, error) {
+	obj, err := s.lookup(p, bkt, key)
+	if err != nil {
+		return nil, err
+	}
+	part, err := obj.Payload.Slice(off, n)
+	if err != nil {
+		return nil, fmt.Errorf("get range %s/%s: %w", bkt, key, err)
+	}
+	s.transfer(p, part.Size(), flowCap)
+	s.metrics.BytesOut += part.Size()
+	return part, nil
+}
+
+// Head returns object metadata without its payload (class B).
+func (s *Service) Head(p *des.Proc, bkt, key string) (Object, error) {
+	obj, err := s.lookup(p, bkt, key)
+	if err != nil {
+		return Object{}, err
+	}
+	meta := obj
+	meta.Payload = nil
+	return meta, nil
+}
+
+// Delete removes an object. Deleting an absent key succeeds, like S3.
+func (s *Service) Delete(p *des.Proc, bkt, key string) error {
+	if err := s.failMaybe(p); err != nil {
+		return err
+	}
+	p.Sleep(s.cfg.RequestLatency)
+	s.metrics.DeleteOps++
+	b, ok := s.buckets[bkt]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	if old, ok := b.objects[key]; ok {
+		s.adjustStored(-old.Size)
+	}
+	delete(b.objects, key)
+	return nil
+}
+
+// DeleteBatch removes up to 1000 keys in one request, like S3
+// DeleteObjects: one request admission and latency regardless of key
+// count. Absent keys succeed silently.
+func (s *Service) DeleteBatch(p *des.Proc, bkt string, keys []string) error {
+	if len(keys) > 1000 {
+		return fmt.Errorf("objectstore: DeleteBatch limited to 1000 keys, got %d", len(keys))
+	}
+	if err := s.failMaybe(p); err != nil {
+		return err
+	}
+	p.Sleep(s.cfg.RequestLatency)
+	b, ok := s.buckets[bkt]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	for _, key := range keys {
+		s.metrics.DeleteOps++
+		if old, ok := b.objects[key]; ok {
+			s.adjustStored(-old.Size)
+		}
+		delete(b.objects, key)
+	}
+	return nil
+}
+
+// Copy performs a server-side copy (class A, no client transfer).
+func (s *Service) Copy(p *des.Proc, srcBkt, srcKey, dstBkt, dstKey string) error {
+	if err := s.admitWrite(p); err != nil {
+		return err
+	}
+	sb, ok := s.buckets[srcBkt]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	src, ok := sb.objects[srcKey]
+	if !ok {
+		return &KeyError{Bucket: srcBkt, Key: srcKey}
+	}
+	db, ok := s.buckets[dstBkt]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	delta := src.Size
+	if old, ok := db.objects[dstKey]; ok {
+		delta -= old.Size
+	}
+	s.adjustStored(delta)
+	db.objects[dstKey] = Object{
+		Key:          dstKey,
+		Payload:      src.Payload,
+		Size:         src.Size,
+		ETag:         src.ETag,
+		LastModified: s.sim.Now(),
+	}
+	return nil
+}
+
+// ListPage is one page of a List result.
+type ListPage struct {
+	Keys []string
+	// Truncated reports whether more keys follow; pass the last key as
+	// startAfter to continue.
+	Truncated bool
+}
+
+// List returns up to max keys with the given prefix, lexicographically
+// after startAfter (class A). max <= 0 uses the configured page size.
+func (s *Service) List(p *des.Proc, bkt, prefix, startAfter string, max int) (ListPage, error) {
+	if err := s.admitWrite(p); err != nil {
+		return ListPage{}, err
+	}
+	b, ok := s.buckets[bkt]
+	if !ok {
+		return ListPage{}, ErrNoSuchBucket
+	}
+	if max <= 0 || max > s.cfg.ListPageSize {
+		max = s.cfg.ListPageSize
+	}
+	keys := make([]string, 0, len(b.objects))
+	for k := range b.objects {
+		if strings.HasPrefix(k, prefix) && k > startAfter {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	page := ListPage{}
+	if len(keys) > max {
+		page.Keys = keys[:max]
+		page.Truncated = true
+	} else {
+		page.Keys = keys
+	}
+	return page, nil
+}
+
+// admitWrite charges a class A op: throttle, failure draw, latency.
+func (s *Service) admitWrite(p *des.Proc) error {
+	s.writeTB.Take(p, 1)
+	if err := s.failMaybe(p); err != nil {
+		return err
+	}
+	p.Sleep(s.cfg.RequestLatency)
+	s.metrics.ClassAOps++
+	return nil
+}
+
+// admitRead charges a class B op.
+func (s *Service) admitRead(p *des.Proc) error {
+	s.readTB.Take(p, 1)
+	if err := s.failMaybe(p); err != nil {
+		return err
+	}
+	p.Sleep(s.cfg.RequestLatency)
+	s.metrics.ClassBOps++
+	return nil
+}
+
+func (s *Service) failMaybe(p *des.Proc) error {
+	if s.cfg.FailureRate > 0 && p.Rand().Float64() < s.cfg.FailureRate {
+		p.Sleep(s.cfg.RequestLatency)
+		s.metrics.Throttled++
+		return ErrSlowDown
+	}
+	return nil
+}
+
+func (s *Service) lookup(p *des.Proc, bkt, key string) (Object, error) {
+	if err := s.admitRead(p); err != nil {
+		return Object{}, err
+	}
+	b, ok := s.buckets[bkt]
+	if !ok {
+		return Object{}, ErrNoSuchBucket
+	}
+	obj, ok := b.objects[key]
+	if !ok {
+		return Object{}, &KeyError{Bucket: bkt, Key: key}
+	}
+	return obj, nil
+}
+
+func (s *Service) transfer(p *des.Proc, size int64, flowCap float64) {
+	eff := s.cfg.PerConnBandwidth
+	if flowCap > 0 && flowCap < eff {
+		eff = flowCap
+	}
+	s.link.Transfer(p, size, eff)
+}
+
+func etag(pl payload.Payload) string {
+	h := fnv.New64a()
+	if b, ok := pl.Bytes(); ok {
+		_, _ = h.Write(b)
+	} else {
+		fmt.Fprintf(h, "sized:%d", pl.Size())
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,248 @@
+// Package pipeline implements the declarative workflow interface the
+// paper adds to the engine (§2.4): workflows defined in JSON
+// configuration files, validated and bound to executable stages.
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"github.com/faaspipe/faaspipe/internal/calib"
+	"github.com/faaspipe/faaspipe/internal/core"
+)
+
+// Doc is the top-level JSON workflow document.
+type Doc struct {
+	// Name labels the workflow.
+	Name string `json:"name"`
+	// Input locates the dataset the first stage consumes.
+	Input ObjectRef `json:"input"`
+	// WorkBucket holds intermediates and outputs.
+	WorkBucket string `json:"workBucket"`
+	// Stages is the DAG, in any order (dependencies resolve by name).
+	Stages []StageDoc `json:"stages"`
+}
+
+// ObjectRef names one object.
+type ObjectRef struct {
+	Bucket string `json:"bucket"`
+	Key    string `json:"key"`
+}
+
+// StageDoc is one stage definition.
+type StageDoc struct {
+	// Name is the unique stage name.
+	Name string `json:"name"`
+	// Type is "shuffle" or "map".
+	Type string `json:"type"`
+	// Strategy (shuffle only): "object-storage", "vm", "cache", or
+	// "cache-warm".
+	Strategy string `json:"strategy,omitempty"`
+	// Workers (shuffle only): parallelism; 0 = planner.
+	Workers int `json:"workers,omitempty"`
+	// Hierarchical (shuffle/object-storage only) switches to the
+	// two-level exchange.
+	Hierarchical bool `json:"hierarchical,omitempty"`
+	// Groups (shuffle/object-storage only): two-level group count
+	// (0 = auto); requires hierarchical.
+	Groups int `json:"groups,omitempty"`
+	// InstanceType (shuffle/vm only) overrides the profile's VM type.
+	InstanceType string `json:"instanceType,omitempty"`
+	// CacheNodes (shuffle/cache only) fixes the cluster size (0 = auto).
+	CacheNodes int `json:"cacheNodes,omitempty"`
+	// MaxRetries (shuffle only) re-attempts invocations lost to
+	// transient platform failures.
+	MaxRetries int `json:"maxRetries,omitempty"`
+	// Speculate (shuffle only) enables straggler speculation.
+	Speculate bool `json:"speculate,omitempty"`
+	// Function (map only): registered platform function name.
+	Function string `json:"function,omitempty"`
+	// InputsFrom (map only): run-state key holding input object keys;
+	// defaults to "<first dependency>.keys".
+	InputsFrom string `json:"inputsFrom,omitempty"`
+	// MemoryMB overrides function memory.
+	MemoryMB int `json:"memoryMB,omitempty"`
+	// DependsOn lists upstream stage names.
+	DependsOn []string `json:"dependsOn,omitempty"`
+}
+
+// Load parses and validates a JSON workflow document. Unknown fields
+// are rejected so typos fail loudly.
+func Load(data []byte) (*Doc, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var d Doc
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("pipeline: parse: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// LoadFile reads and parses a JSON workflow file.
+func LoadFile(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	return Load(data)
+}
+
+// Validate checks structural constraints (full DAG validation happens
+// again at Build via core.Workflow.Validate).
+func (d *Doc) Validate() error {
+	if d.Name == "" {
+		return errors.New("pipeline: missing name")
+	}
+	if len(d.Stages) == 0 {
+		return errors.New("pipeline: no stages")
+	}
+	if d.WorkBucket == "" {
+		return errors.New("pipeline: missing workBucket")
+	}
+	seen := make(map[string]bool, len(d.Stages))
+	for i, s := range d.Stages {
+		if s.Name == "" {
+			return fmt.Errorf("pipeline: stage %d has no name", i)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("pipeline: duplicate stage %q", s.Name)
+		}
+		seen[s.Name] = true
+		switch s.Type {
+		case "shuffle":
+			switch s.Strategy {
+			case "object-storage", "vm", "cache", "cache-warm":
+			case "":
+				return fmt.Errorf("pipeline: stage %q: shuffle needs a strategy", s.Name)
+			default:
+				return fmt.Errorf("pipeline: stage %q: unknown strategy %q", s.Name, s.Strategy)
+			}
+			if s.Strategy == "vm" && s.Workers <= 0 {
+				return fmt.Errorf("pipeline: stage %q: vm strategy needs explicit workers", s.Name)
+			}
+			if s.Hierarchical && s.Strategy != "object-storage" {
+				return fmt.Errorf("pipeline: stage %q: hierarchical requires the object-storage strategy", s.Name)
+			}
+			if s.Groups > 0 && !s.Hierarchical {
+				return fmt.Errorf("pipeline: stage %q: groups requires hierarchical", s.Name)
+			}
+			if s.Groups > 0 && s.Workers > 0 && s.Workers%s.Groups != 0 {
+				return fmt.Errorf("pipeline: stage %q: %d groups do not divide %d workers",
+					s.Name, s.Groups, s.Workers)
+			}
+			if s.CacheNodes > 0 && s.Strategy != "cache" && s.Strategy != "cache-warm" {
+				return fmt.Errorf("pipeline: stage %q: cacheNodes requires a cache strategy", s.Name)
+			}
+			if s.MaxRetries < 0 {
+				return fmt.Errorf("pipeline: stage %q: negative maxRetries", s.Name)
+			}
+		case "map":
+			if s.Function == "" {
+				return fmt.Errorf("pipeline: stage %q: map needs a function", s.Name)
+			}
+			if s.InputsFrom == "" && len(s.DependsOn) == 0 {
+				return fmt.Errorf("pipeline: stage %q: map needs inputsFrom or a dependency", s.Name)
+			}
+		default:
+			return fmt.Errorf("pipeline: stage %q: unknown type %q", s.Name, s.Type)
+		}
+	}
+	for _, s := range d.Stages {
+		for _, dep := range s.DependsOn {
+			if !seen[dep] {
+				return fmt.Errorf("pipeline: stage %q depends on unknown %q", s.Name, dep)
+			}
+		}
+	}
+	return nil
+}
+
+// MapInputBuilder constructs the platform-function input for one
+// object key of a map stage.
+type MapInputBuilder func(objKey string, index int) any
+
+// BuildOptions bind a document to a simulated cloud.
+type BuildOptions struct {
+	// Rig is the wired cloud (profile, executor, shuffle operator).
+	Rig *calib.Rig
+	// MapInputs provides the input builder for each map stage name.
+	MapInputs map[string]MapInputBuilder
+}
+
+// Build converts the document into an executable workflow.
+func (d *Doc) Build(opts BuildOptions) (*core.Workflow, error) {
+	if opts.Rig == nil {
+		return nil, errors.New("pipeline: BuildOptions.Rig is required")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	w := core.NewWorkflow(d.Name)
+	for _, s := range d.Stages {
+		var stage core.Stage
+		switch s.Type {
+		case "shuffle":
+			params := opts.Rig.SortParams(d.Input.Bucket, d.Input.Key,
+				d.WorkBucket, s.Name+"/", s.Workers)
+			params.MemoryMB = pickInt(s.MemoryMB, params.MemoryMB)
+			params.MaxRetries = s.MaxRetries
+			params.Speculate = s.Speculate
+			params.Hierarchical = s.Hierarchical
+			params.Groups = s.Groups
+			var strategy core.ExchangeStrategy
+			switch s.Strategy {
+			case "vm":
+				vs := opts.Rig.VMStrategy()
+				if s.InstanceType != "" {
+					vs.InstanceType = s.InstanceType
+				}
+				strategy = vs
+			case "cache", "cache-warm":
+				cs := opts.Rig.CacheStrategy(s.Strategy == "cache-warm")
+				if s.CacheNodes > 0 {
+					cs.Nodes = s.CacheNodes
+				}
+				strategy = cs
+			default:
+				strategy = core.ObjectStorageExchange{}
+			}
+			stage = &core.SortStage{StageName: s.Name, Strategy: strategy, Params: params}
+		case "map":
+			builder, ok := opts.MapInputs[s.Name]
+			if !ok {
+				return nil, fmt.Errorf("pipeline: no input builder for map stage %q", s.Name)
+			}
+			inputsFrom := s.InputsFrom
+			if inputsFrom == "" {
+				inputsFrom = s.DependsOn[0] + ".keys"
+			}
+			stage = &core.MapStage{
+				StageName:       s.Name,
+				Function:        s.Function,
+				InputsFromState: inputsFrom,
+				BuildInput:      builder,
+				MemoryMB:        s.MemoryMB,
+			}
+		}
+		if err := w.Add(stage, s.DependsOn...); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func pickInt(override, fallback int) int {
+	if override > 0 {
+		return override
+	}
+	return fallback
+}

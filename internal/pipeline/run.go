@@ -1,0 +1,150 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+	"github.com/faaspipe/faaspipe/internal/calib"
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/core"
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/genomics"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+)
+
+// RunConfig configures a self-contained document execution: Run
+// provisions the simulated cloud, registers the built-in functions,
+// stages a dataset, derives map-input builders for the known
+// functions, and executes the workflow.
+type RunConfig struct {
+	// Profile is the performance/pricing model to simulate under.
+	Profile calib.Profile
+	// Records > 0 stages a synthetic bedMethyl dataset with that many
+	// real records (correctness mode).
+	Records int
+	// DataBytes stages a sized payload instead when Records is 0
+	// (timing mode; default the paper's 3.5 GB).
+	DataBytes int64
+	// Seed drives the synthetic generator (default: profile seed).
+	Seed int64
+	// Listeners observe the run (progress trackers).
+	Listeners []core.Listener
+	// DescribeTo, when set, receives the workflow's DAG rendering
+	// before the run starts.
+	DescribeTo io.Writer
+}
+
+// Run executes the document under cfg and returns the run report.
+func Run(d *Doc, cfg RunConfig) (*core.RunReport, error) {
+	if d == nil {
+		return nil, errors.New("pipeline: nil document")
+	}
+	rig, err := calib.NewRig(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	if err := genomics.RegisterFunctions(rig.Platform); err != nil {
+		return nil, err
+	}
+	for _, l := range cfg.Listeners {
+		rig.Exec.AddListener(l)
+	}
+
+	builders, err := defaultBuilders(d, rig.Profile)
+	if err != nil {
+		return nil, err
+	}
+	w, err := d.Build(BuildOptions{Rig: rig, MapInputs: builders})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DescribeTo != nil {
+		fmt.Fprint(cfg.DescribeTo, w.Describe())
+	}
+
+	var input payload.Payload
+	if cfg.Records > 0 {
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = cfg.Profile.Seed
+		}
+		recs := bed.Generate(bed.GenConfig{Records: cfg.Records, Seed: seed})
+		input = payload.RealNoCopy(bed.Marshal(recs))
+	} else {
+		size := cfg.DataBytes
+		if size <= 0 {
+			size = 3500e6
+		}
+		input = payload.Sized(size)
+	}
+
+	var (
+		rep    *core.RunReport
+		runErr error
+	)
+	rig.Sim.Spawn("pipelinerun", func(p *des.Proc) {
+		c := objectstore.NewClient(rig.Store)
+		for _, b := range []string{d.Input.Bucket, d.WorkBucket} {
+			if err := c.CreateBucket(p, b); err != nil {
+				runErr = err
+				return
+			}
+		}
+		if err := c.Put(p, d.Input.Bucket, d.Input.Key, input); err != nil {
+			runErr = err
+			return
+		}
+		rep, runErr = rig.Exec.Run(p, w)
+	})
+	if err := rig.Sim.Run(); err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return rep, runErr
+	}
+	return rep, nil
+}
+
+// defaultBuilders derives a map-input builder for every map stage whose
+// function Run knows how to feed (the built-in METHCOMP codecs).
+// Outputs land under "<stage name>/part-NNNN" in the work bucket.
+func defaultBuilders(d *Doc, profile calib.Profile) (map[string]MapInputBuilder, error) {
+	builders := make(map[string]MapInputBuilder)
+	for _, s := range d.Stages {
+		if s.Type != "map" {
+			continue
+		}
+		s := s
+		switch s.Function {
+		case genomics.EncodeFn:
+			builders[s.Name] = func(objKey string, i int) any {
+				return &genomics.EncodeTask{
+					Bucket:     d.WorkBucket,
+					Key:        objKey,
+					OutBucket:  d.WorkBucket,
+					OutKey:     fmt.Sprintf("%s/part-%04d.mcz", s.Name, i),
+					EncodeBps:  profile.EncodeBps,
+					SizedRatio: profile.EncodeRatio,
+				}
+			}
+		case genomics.DecodeFn:
+			builders[s.Name] = func(objKey string, i int) any {
+				return &genomics.DecodeTask{
+					Bucket:     d.WorkBucket,
+					Key:        objKey,
+					OutBucket:  d.WorkBucket,
+					OutKey:     fmt.Sprintf("%s/part-%04d.bed", s.Name, i),
+					DecodeBps:  profile.EncodeBps,
+					SizedRatio: profile.EncodeRatio,
+				}
+			}
+		default:
+			return nil, fmt.Errorf(
+				"pipeline: no built-in input builder for function %q (stage %q); use Doc.Build with explicit MapInputs",
+				s.Function, s.Name)
+		}
+	}
+	return builders, nil
+}

@@ -1,0 +1,401 @@
+package shuffle
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/faas"
+	"github.com/faaspipe/faaspipe/internal/memcache"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+)
+
+const (
+	// cacheMapFn and cacheReduceFn are the cache operator's function
+	// names on the platform.
+	cacheMapFn    = "cacheshuffle/map"
+	cacheReduceFn = "cacheshuffle/reduce"
+	// defaultCacheHeadroom oversizes the cluster so the all-to-all's
+	// transient double-buffering never hits the eviction path.
+	defaultCacheHeadroom = 1.3
+)
+
+// CacheOperator is a shuffle/sort whose all-to-all intermediates flow
+// through a provisioned in-memory cache instead of object storage —
+// the ElastiCache-style alternative the paper names in §1. Input and
+// output still live in the object store (the datasets' home); only the
+// w x w partition exchange uses the cache.
+type CacheOperator struct {
+	platform *faas.Platform
+	store    *objectstore.Service
+	prov     *memcache.Provisioner
+	seq      int
+}
+
+// NewCacheOperator registers the cache-shuffle functions on the
+// platform. Clusters are provisioned per job from prov.
+func NewCacheOperator(platform *faas.Platform, store *objectstore.Service, prov *memcache.Provisioner) (*CacheOperator, error) {
+	if prov == nil {
+		return nil, errors.New("shuffle: nil cache provisioner")
+	}
+	op := &CacheOperator{platform: platform, store: store, prov: prov}
+	if err := platform.Register(cacheMapFn, cacheMapHandler); err != nil {
+		return nil, err
+	}
+	if err := platform.Register(cacheReduceFn, cacheReduceHandler); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// CacheSpec describes one cache-exchanged sort job.
+type CacheSpec struct {
+	// Spec carries the common job parameters. ScratchBucket is ignored:
+	// intermediates live in the cache.
+	Spec
+	// Nodes fixes the cluster size; 0 sizes it from the input volume
+	// with Headroom.
+	Nodes int
+	// Headroom oversizes auto-sized clusters (default 1.3).
+	Headroom float64
+	// Warm treats the cluster as already provisioned: the spin-up
+	// latency is skipped, modeling a long-lived shared cluster. Billing
+	// still accrues for the job window only, which understates a real
+	// always-on cluster's cost — the ablation's point is latency.
+	Warm bool
+	// BatchedGets fetches each reducer's w partitions with per-shard
+	// MGet pipelining instead of w serial Gets — one request latency
+	// per shard instead of per partition.
+	BatchedGets bool
+}
+
+// CacheResult reports a completed cache-exchanged sort.
+type CacheResult struct {
+	Result
+	// Nodes is the cluster size used.
+	Nodes int
+	// Provision is the cluster spin-up time paid (zero when Warm).
+	Provision time.Duration
+	// CacheUSD is the cluster cost accrued by this job.
+	CacheUSD float64
+	// PeakCacheBytes is the high-water cache occupancy estimate
+	// (the input volume; partitions are deleted as they are merged).
+	PeakCacheBytes int64
+}
+
+// CacheProfile converts a cache node profile at a given cluster size
+// into the planner's store profile, so the same Optimize searches the
+// cache-exchange plan space: aggregate bandwidth and ops scale with
+// nodes instead of being a service-wide constant.
+func CacheProfile(cfg memcache.Config, nodes int) StoreProfile {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return StoreProfile{
+		RequestLatency:     cfg.RequestLatency,
+		PerConnBandwidth:   cfg.PerConnBandwidth,
+		AggregateBandwidth: cfg.NodeBandwidth * float64(nodes),
+		ReadOpsPerSec:      cfg.NodeOpsPerSec * float64(nodes),
+		WriteOpsPerSec:     cfg.NodeOpsPerSec * float64(nodes),
+	}
+}
+
+// Sort runs the cache-exchanged shuffle, blocking p until the sorted
+// output is in the object store. The per-job cluster is provisioned
+// before and stopped after the exchange; its cost is reported in the
+// result.
+func (op *CacheOperator) Sort(p *des.Proc, spec CacheSpec) (CacheResult, error) {
+	if err := spec.Spec.validate(); err != nil {
+		return CacheResult{}, err
+	}
+	if spec.SampleBytes <= 0 {
+		spec.SampleBytes = defaultSampleBytes
+	}
+	if spec.Headroom <= 0 {
+		spec.Headroom = defaultCacheHeadroom
+	}
+	op.seq++
+	jobID := fmt.Sprintf("cacheshuffle-%04d", op.seq)
+	client := objectstore.NewClient(op.store)
+
+	head, err := client.Head(p, spec.InputBucket, spec.InputKey)
+	if err != nil {
+		return CacheResult{}, fmt.Errorf("shuffle: stat input: %w", err)
+	}
+	size := head.Size
+	if size == 0 {
+		return CacheResult{}, errors.New("shuffle: empty input")
+	}
+
+	nodes := spec.Nodes
+	if nodes <= 0 {
+		nodes = memcache.NodesForCapacity(op.prov.Config(), size, spec.Headroom)
+	}
+	res := CacheResult{Nodes: nodes, PeakCacheBytes: size}
+	res.TotalBytes = size
+
+	// Decide parallelism against the cache's throughput profile.
+	workers := spec.Workers
+	if workers == 0 {
+		plan, err := Optimize(PlanInput{
+			DataBytes:      size,
+			MaxWorkers:     spec.MaxWorkers,
+			WorkerMemBytes: spec.WorkerMemBytes,
+			PartitionBps:   spec.PartitionBps,
+			MergeBps:       spec.MergeBps,
+			Startup:        spec.Startup,
+		}, CacheProfile(op.prov.Config(), nodes))
+		if err != nil {
+			return CacheResult{}, err
+		}
+		workers = plan.Workers
+		res.Planned = plan
+		res.AutoPlanned = true
+	}
+	res.Workers = workers
+
+	// Provision the cluster (skipped when warm: it is already up).
+	provStart := p.Now()
+	var cluster *memcache.Cluster
+	if spec.Warm {
+		cluster, err = op.prov.ProvisionWarm(p, nodes)
+	} else {
+		cluster, err = op.prov.Provision(p, nodes)
+	}
+	if err != nil {
+		return CacheResult{}, fmt.Errorf("shuffle: provision cache: %w", err)
+	}
+	defer cluster.Stop()
+	res.Provision = p.Now() - provStart
+
+	// Sample for partition boundaries (real mode only).
+	sampleStart := p.Now()
+	boundaries, err := sampleBoundaries(p, client, spec.Spec, size, workers)
+	if err != nil {
+		return CacheResult{}, err
+	}
+	res.Sample = p.Now() - sampleStart
+
+	// Phase 1: map / partition into the cache.
+	p1Start := p.Now()
+	ranges := splitRanges(size, workers)
+	mapInputs := make([]any, workers)
+	for i := 0; i < workers; i++ {
+		mapInputs[i] = &cacheMapTask{
+			JobID:        jobID,
+			InputBucket:  spec.InputBucket,
+			InputKey:     spec.InputKey,
+			Offset:       ranges[i].off,
+			Length:       ranges[i].n,
+			TotalSize:    size,
+			Workers:      workers,
+			MapIndex:     i,
+			Boundaries:   boundaries,
+			Cache:        cluster,
+			PartitionBps: spec.PartitionBps,
+		}
+	}
+	if _, err := op.mapPhase(p, cacheMapFn, mapInputs, spec.Spec); err != nil {
+		return CacheResult{}, fmt.Errorf("shuffle: cache map phase: %w", err)
+	}
+	res.Phase1 = p.Now() - p1Start
+
+	// Phase 2: reduce / merge out of the cache.
+	p2Start := p.Now()
+	redInputs := make([]any, workers)
+	for i := 0; i < workers; i++ {
+		redInputs[i] = &cacheReduceTask{
+			JobID:        jobID,
+			Workers:      workers,
+			ReduceIndex:  i,
+			Cache:        cluster,
+			OutputBucket: spec.OutputBucket,
+			OutputPrefix: spec.OutputPrefix,
+			MergeBps:     spec.MergeBps,
+			Batched:      spec.BatchedGets,
+		}
+	}
+	outs, err := op.mapPhase(p, cacheReduceFn, redInputs, spec.Spec)
+	if err != nil {
+		return CacheResult{}, fmt.Errorf("shuffle: cache reduce phase: %w", err)
+	}
+	res.Phase2 = p.Now() - p2Start
+	for _, o := range outs {
+		key, ok := o.(string)
+		if !ok {
+			return CacheResult{}, fmt.Errorf("shuffle: cache reduce returned %T, want string key", o)
+		}
+		res.OutputKeys = append(res.OutputKeys, key)
+	}
+	cluster.Stop()
+	res.CacheUSD = cluster.Cost()
+	return res, nil
+}
+
+// mapPhase runs one wave of fn over inputs with the spec's fault
+// policy, mirroring Operator.mapPhase.
+func (op *CacheOperator) mapPhase(p *des.Proc, fn string, inputs []any, spec Spec) ([]any, error) {
+	opts := faas.InvokeOptions{MemoryMB: spec.MemoryMB, MaxRetries: spec.MaxRetries}
+	if spec.Speculate {
+		outs, _, err := op.platform.MapSpeculative(p, fn, inputs, opts, spec.Speculation)
+		return outs, err
+	}
+	return op.platform.MapSync(p, fn, inputs, opts)
+}
+
+// cacheMapTask is the input of one cache-exchange map activation.
+type cacheMapTask struct {
+	JobID        string
+	InputBucket  string
+	InputKey     string
+	Offset       int64
+	Length       int64
+	TotalSize    int64
+	Workers      int
+	MapIndex     int
+	Boundaries   []string
+	Cache        *memcache.Cluster
+	PartitionBps float64
+}
+
+// cacheReduceTask is the input of one cache-exchange reduce activation.
+type cacheReduceTask struct {
+	JobID        string
+	Workers      int
+	ReduceIndex  int
+	Cache        *memcache.Cluster
+	OutputBucket string
+	OutputPrefix string
+	MergeBps     float64
+	Batched      bool
+}
+
+// cacheMapHandler reads its input slice from the object store,
+// partitions it, and Sets one cache entry per reducer.
+func cacheMapHandler(ctx *faas.Ctx, input any) (any, error) {
+	task, ok := input.(*cacheMapTask)
+	if !ok {
+		return nil, fmt.Errorf("shuffle: cache map input %T", input)
+	}
+	if task.Length == 0 {
+		for r := 0; r < task.Workers; r++ {
+			if err := task.Cache.Set(ctx.Proc, partKey(task.JobID, task.MapIndex, r), payload.Real(nil)); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+
+	readOff := task.Offset
+	prefixByte := false
+	if readOff > 0 {
+		readOff--
+		prefixByte = true
+	}
+	readLen := task.Offset + task.Length + overscan - readOff
+	if readOff+readLen > task.TotalSize {
+		readLen = task.TotalSize - readOff
+	}
+	pl, err := ctx.Store.GetRange(ctx.Proc, task.InputBucket, task.InputKey, readOff, readLen)
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: cache map %d read: %w", task.MapIndex, err)
+	}
+	ctx.ComputeBytes(task.Length, task.PartitionBps)
+
+	if raw, real := pl.Bytes(); real {
+		parts, err := partitionRaw(raw, prefixByte, task.Offset, task.Length, task.Workers, task.Boundaries)
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: cache map %d: %w", task.MapIndex, err)
+		}
+		for r := 0; r < task.Workers; r++ {
+			if err := task.Cache.Set(ctx.Proc, partKey(task.JobID, task.MapIndex, r), payload.RealNoCopy(parts[r])); err != nil {
+				return nil, fmt.Errorf("shuffle: cache map %d set partition %d: %w", task.MapIndex, r, err)
+			}
+		}
+		return nil, nil
+	}
+
+	// Sized mode: even split of this worker's slice.
+	base := task.Length / int64(task.Workers)
+	rem := task.Length % int64(task.Workers)
+	for r := 0; r < task.Workers; r++ {
+		n := base
+		if int64(r) < rem {
+			n++
+		}
+		if err := task.Cache.Set(ctx.Proc, partKey(task.JobID, task.MapIndex, r), payload.Sized(n)); err != nil {
+			return nil, fmt.Errorf("shuffle: cache map %d set partition %d: %w", task.MapIndex, r, err)
+		}
+	}
+	return nil, nil
+}
+
+// cacheReduceHandler Gets its partition from every mapper's cache
+// entries, merges, writes one globally-ordered part to the object
+// store, and deletes the consumed entries to release cache memory.
+func cacheReduceHandler(ctx *faas.Ctx, input any) (any, error) {
+	task, ok := input.(*cacheReduceTask)
+	if !ok {
+		return nil, fmt.Errorf("shuffle: cache reduce input %T", input)
+	}
+	keys := make([]string, task.Workers)
+	for m := 0; m < task.Workers; m++ {
+		keys[m] = partKey(task.JobID, m, task.ReduceIndex)
+	}
+	var parts []payload.Payload
+	if task.Batched {
+		var err error
+		parts, err = task.Cache.MGet(ctx.Proc, keys)
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: cache reduce %d mget: %w", task.ReduceIndex, err)
+		}
+	} else {
+		parts = make([]payload.Payload, len(keys))
+		for m, key := range keys {
+			pl, err := task.Cache.Get(ctx.Proc, key)
+			if err != nil {
+				return nil, fmt.Errorf("shuffle: cache reduce %d fetch m%d: %w", task.ReduceIndex, m, err)
+			}
+			parts[m] = pl
+		}
+	}
+	var (
+		recs     []bed.Record
+		anySized bool
+		total    int64
+	)
+	for m, pl := range parts {
+		total += pl.Size()
+		if raw, real := pl.Bytes(); real {
+			part, err := bed.Unmarshal(raw)
+			if err != nil {
+				return nil, fmt.Errorf("shuffle: cache reduce %d parse m%d: %w", task.ReduceIndex, m, err)
+			}
+			recs = append(recs, part...)
+		} else {
+			anySized = true
+		}
+	}
+	for m, key := range keys {
+		if err := task.Cache.Delete(ctx.Proc, key); err != nil {
+			return nil, fmt.Errorf("shuffle: cache reduce %d free m%d: %w", task.ReduceIndex, m, err)
+		}
+	}
+	ctx.ComputeBytes(total, task.MergeBps)
+
+	outKey := fmt.Sprintf("%spart-%04d", task.OutputPrefix, task.ReduceIndex)
+	var out payload.Payload
+	if anySized {
+		out = payload.Sized(total)
+	} else {
+		bed.Sort(recs)
+		out = payload.RealNoCopy(bed.Marshal(recs))
+	}
+	if err := ctx.Store.Put(ctx.Proc, task.OutputBucket, outKey, out); err != nil {
+		return nil, fmt.Errorf("shuffle: cache reduce %d write: %w", task.ReduceIndex, err)
+	}
+	return outKey, nil
+}

@@ -1,0 +1,84 @@
+package shuffle
+
+import (
+	"testing"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+)
+
+// scratchKeys lists leftover intermediate objects after a sort. The
+// operators write intermediates under "<job id>/..." prefixes in the
+// scratch bucket, distinct from the "sorted/" output prefix.
+func scratchKeys(t *testing.T, rig *testRig, bucket string) []string {
+	t.Helper()
+	var keys []string
+	rig.sim.Spawn("scan", func(p *des.Proc) {
+		c := objectstore.NewClient(rig.store)
+		all, err := c.ListAll(p, bucket, "")
+		if err != nil {
+			t.Errorf("list: %v", err)
+			return
+		}
+		for _, k := range all {
+			if len(k) >= 7 && k[:7] == "sorted/" {
+				continue
+			}
+			keys = append(keys, k)
+		}
+	})
+	if err := rig.sim.Run(); err != nil {
+		t.Fatalf("scan sim: %v", err)
+	}
+	return keys
+}
+
+func TestSortLeavesScratchByDefault(t *testing.T) {
+	rig := newRig(t)
+	recs := bed.Generate(bed.GenConfig{Records: 1000, Seed: 61, Sorted: false})
+	_, sorted := runSort(t, rig, recs, sortSpec(4))
+	if len(sorted) != len(recs) {
+		t.Fatalf("sorted = %d", len(sorted))
+	}
+	if got := scratchKeys(t, rig, "out"); len(got) != 16 {
+		t.Fatalf("scratch objects = %d, want 4x4 left in place", len(got))
+	}
+}
+
+func TestSortCleanupScratch(t *testing.T) {
+	rig := newRig(t)
+	recs := bed.Generate(bed.GenConfig{Records: 1000, Seed: 61, Sorted: false})
+	spec := sortSpec(4)
+	spec.CleanupScratch = true
+	_, sorted := runSort(t, rig, recs, spec)
+	if len(sorted) != len(recs) || !bed.IsSorted(sorted) {
+		t.Fatal("cleanup sort incorrect")
+	}
+	if got := scratchKeys(t, rig, "out"); len(got) != 0 {
+		t.Fatalf("scratch objects = %d (%v), want 0", len(got), got)
+	}
+}
+
+func TestHierSortCleanupScratch(t *testing.T) {
+	rig := newHierRig(t)
+	recs := bed.Generate(bed.GenConfig{Records: 1200, Seed: 62, Sorted: false})
+	spec := hierSpec(8, 4)
+	spec.CleanupScratch = true
+	_, sorted := runHierSort(t, rig, recs, spec)
+	if len(sorted) != len(recs) || !bed.IsSorted(sorted) {
+		t.Fatal("cleanup hierarchical sort incorrect")
+	}
+	if got := scratchKeys(t, rig, "out"); len(got) != 0 {
+		t.Fatalf("scratch objects = %d (%v), want 0", len(got), got)
+	}
+}
+
+func TestCleanupRejectsSpeculation(t *testing.T) {
+	spec := sortSpec(4)
+	spec.CleanupScratch = true
+	spec.Speculate = true
+	if err := spec.validate(); err == nil {
+		t.Fatal("CleanupScratch+Speculate accepted; duplicates re-read deleted partitions")
+	}
+}

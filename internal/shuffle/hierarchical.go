@@ -1,0 +1,414 @@
+package shuffle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/faas"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+)
+
+// repartitionFn is the hierarchical operator's round-2 map function.
+const repartitionFn = "shuffle/repartition"
+
+// HierSpec describes a two-level (hierarchical) sort job. The one-level
+// all-to-all moves w x w intermediate objects; with w workers in g
+// groups the exchange becomes w*g objects in round 1 plus g*(w/g)^2 in
+// round 2 — minimized near g = sqrt(w) at ~2*w^1.5 total. That trades
+// an extra pass of data through the store for far fewer requests, which
+// wins once the service's per-request latency and ops throttle dominate
+// (large w) — the design extension Primula's line of work (Locus,
+// Pocket) motivates.
+type HierSpec struct {
+	// Spec carries the common job parameters. Workers must be explicit
+	// (or left 0 for the hierarchical planner).
+	Spec
+	// Groups is the number of round-1 groups; it must divide Workers.
+	// 0 picks the divisor of Workers nearest sqrt(Workers).
+	Groups int
+}
+
+// HierResult reports a completed hierarchical sort.
+type HierResult struct {
+	Result
+	// Groups is the group count used (1 degenerates to a relabeled
+	// one-level exchange).
+	Groups int
+	// Round1 and Round2 are the two exchange passes' durations; they
+	// refine Result.Phase1/Phase2 (Phase1 = Round1, Phase2 = Round2).
+	Round1, Round2 time.Duration
+}
+
+// EnableHierarchical registers the round-2 repartition function; call
+// once per operator before SortHierarchical. Split from NewOperator so
+// existing single-level deployments register nothing extra.
+func (op *Operator) EnableHierarchical() error {
+	return op.platform.Register(repartitionFn, repartitionHandler)
+}
+
+// autoGroups picks the divisor of w nearest sqrt(w). Primes degrade to
+// 1 (a single group: one coarse pass then a full sort of each range).
+func autoGroups(w int) int {
+	if w <= 1 {
+		return 1
+	}
+	root := math.Sqrt(float64(w))
+	best, bestDist := 1, math.Inf(1)
+	for g := 1; g <= w; g++ {
+		if w%g != 0 {
+			continue
+		}
+		if d := math.Abs(float64(g) - root); d < bestDist {
+			best, bestDist = g, d
+		}
+	}
+	return best
+}
+
+// SortHierarchical runs the two-level shuffle, blocking p until the
+// sorted output is in place. Output parts are globally ordered across
+// groups: group j's k parts are parts j*k .. j*k+k-1.
+func (op *Operator) SortHierarchical(p *des.Proc, spec HierSpec) (HierResult, error) {
+	if err := spec.Spec.validate(); err != nil {
+		return HierResult{}, err
+	}
+	if spec.ScratchBucket == "" {
+		spec.ScratchBucket = spec.OutputBucket
+	}
+	if spec.SampleBytes <= 0 {
+		spec.SampleBytes = defaultSampleBytes
+	}
+	op.seq++
+	jobID := fmt.Sprintf("hiershuffle-%04d", op.seq)
+	client := objectstore.NewClient(op.store)
+
+	head, err := client.Head(p, spec.InputBucket, spec.InputKey)
+	if err != nil {
+		return HierResult{}, fmt.Errorf("shuffle: stat input: %w", err)
+	}
+	size := head.Size
+	if size == 0 {
+		return HierResult{}, errors.New("shuffle: empty input")
+	}
+
+	res := HierResult{}
+	res.TotalBytes = size
+
+	workers := spec.Workers
+	if workers == 0 {
+		plan, err := Optimize(PlanInput{
+			DataBytes:      size,
+			MaxWorkers:     spec.MaxWorkers,
+			WorkerMemBytes: spec.WorkerMemBytes,
+			PartitionBps:   spec.PartitionBps,
+			MergeBps:       spec.MergeBps,
+			Startup:        spec.Startup,
+		}, ProfileOf(op.store.Config()))
+		if err != nil {
+			return HierResult{}, err
+		}
+		workers = plan.Workers
+		res.Planned = plan
+		res.AutoPlanned = true
+	}
+	groups := spec.Groups
+	if groups <= 0 {
+		groups = autoGroups(workers)
+	}
+	if groups > workers || workers%groups != 0 {
+		return HierResult{}, fmt.Errorf(
+			"shuffle: %d groups do not divide %d workers", groups, workers)
+	}
+	k := workers / groups // parts (and round-2 workers) per group
+	res.Workers = workers
+	res.Groups = groups
+
+	// One sample yields both boundary levels: global fine boundaries
+	// b_1..b_{w-1}; coarse boundaries are every k-th; fine-within-group
+	// are the k-1 between consecutive coarse ones.
+	sampleStart := p.Now()
+	fine, err := sampleBoundaries(p, client, spec.Spec, size, workers)
+	if err != nil {
+		return HierResult{}, err
+	}
+	res.Sample = p.Now() - sampleStart
+	var coarse []string
+	fineFor := func(group int) []string { return nil }
+	if fine != nil {
+		coarse = make([]string, groups-1)
+		for j := 1; j < groups; j++ {
+			coarse[j-1] = fine[j*k-1]
+		}
+		fineFor = func(group int) []string {
+			lo := group * k // b_{group*k+1} is fine[group*k]
+			return fine[lo : lo+k-1]
+		}
+	}
+
+	// Round 1: w mappers spray their slice into g coarse ranges.
+	r1Start := p.Now()
+	ranges := splitRanges(size, workers)
+	r1JobID := jobID + "-r1"
+	r1Inputs := make([]any, workers)
+	for i := 0; i < workers; i++ {
+		r1Inputs[i] = &mapTask{
+			JobID:         r1JobID,
+			InputBucket:   spec.InputBucket,
+			InputKey:      spec.InputKey,
+			Offset:        ranges[i].off,
+			Length:        ranges[i].n,
+			TotalSize:     size,
+			Workers:       groups,
+			MapIndex:      i,
+			Boundaries:    coarse,
+			ScratchBucket: spec.ScratchBucket,
+			PartitionBps:  spec.PartitionBps,
+		}
+	}
+	if _, err := op.mapPhase(p, mapFn, r1Inputs, spec.Spec); err != nil {
+		return HierResult{}, fmt.Errorf("shuffle: round 1: %w", err)
+	}
+	res.Round1 = p.Now() - r1Start
+	res.Phase1 = res.Round1
+
+	// Round 2: per group, k repartitioners each gather g round-1
+	// objects, split them by the group's fine boundaries, and k
+	// reducers merge into globally-indexed output parts.
+	r2Start := p.Now()
+	repInputs := make([]any, 0, workers)
+	for g := 0; g < groups; g++ {
+		groupJob := fmt.Sprintf("%s-r2-g%04d", jobID, g)
+		for j := 0; j < k; j++ {
+			// Worker j of group g gathers round-1 partitions from
+			// mappers j*g .. (j+1)*g-1 (an even split of the w objects).
+			srcs := make([]string, 0, groups)
+			for m := j * groups; m < (j+1)*groups; m++ {
+				srcs = append(srcs, partKey(r1JobID, m, g))
+			}
+			repInputs = append(repInputs, &repartitionTask{
+				JobID:         groupJob,
+				ScratchBucket: spec.ScratchBucket,
+				SourceBucket:  spec.ScratchBucket,
+				SourceKeys:    srcs,
+				Workers:       k,
+				MapIndex:      j,
+				Boundaries:    fineFor(g),
+				PartitionBps:  spec.PartitionBps,
+				Cleanup:       spec.CleanupScratch,
+			})
+		}
+	}
+	if _, err := op.mapPhase(p, repartitionFn, repInputs, spec.Spec); err != nil {
+		return HierResult{}, fmt.Errorf("shuffle: round 2 repartition: %w", err)
+	}
+	redInputs := make([]any, 0, workers)
+	for g := 0; g < groups; g++ {
+		groupJob := fmt.Sprintf("%s-r2-g%04d", jobID, g)
+		for r := 0; r < k; r++ {
+			redInputs = append(redInputs, &reduceTask{
+				JobID:         groupJob,
+				ScratchBucket: spec.ScratchBucket,
+				Workers:       k,
+				ReduceIndex:   r,
+				OutputIndex:   g*k + r,
+				OutputBucket:  spec.OutputBucket,
+				OutputPrefix:  spec.OutputPrefix,
+				MergeBps:      spec.MergeBps,
+				Cleanup:       spec.CleanupScratch,
+			})
+		}
+	}
+	outs, err := op.mapPhase(p, reduceFn, redInputs, spec.Spec)
+	if err != nil {
+		return HierResult{}, fmt.Errorf("shuffle: round 2 reduce: %w", err)
+	}
+	res.Round2 = p.Now() - r2Start
+	res.Phase2 = res.Round2
+	for _, o := range outs {
+		key, ok := o.(string)
+		if !ok {
+			return HierResult{}, fmt.Errorf("shuffle: reduce returned %T, want string key", o)
+		}
+		res.OutputKeys = append(res.OutputKeys, key)
+	}
+	sort.Strings(res.OutputKeys) // part-%04d names sort into global order
+	return res, nil
+}
+
+// repartitionTask is the input of one round-2 repartition activation.
+type repartitionTask struct {
+	JobID         string
+	ScratchBucket string
+	SourceBucket  string
+	SourceKeys    []string
+	Workers       int
+	MapIndex      int
+	Boundaries    []string
+	PartitionBps  float64
+	Cleanup       bool
+}
+
+// repartitionHandler gathers its source objects, splits their records
+// by the (fine) boundaries, and writes one partition per reducer —
+// round 1's mapHandler generalized from "a byte range of one object"
+// to "a list of whole objects".
+func repartitionHandler(ctx *faas.Ctx, input any) (any, error) {
+	task, ok := input.(*repartitionTask)
+	if !ok {
+		return nil, fmt.Errorf("shuffle: repartition input %T", input)
+	}
+	var (
+		recs     []bed.Record
+		total    int64
+		anySized bool
+	)
+	for _, key := range task.SourceKeys {
+		pl, err := ctx.Store.Get(ctx.Proc, task.SourceBucket, key)
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: repartition %d fetch %s: %w", task.MapIndex, key, err)
+		}
+		if task.Cleanup {
+			if err := ctx.Store.Delete(ctx.Proc, task.SourceBucket, key); err != nil {
+				return nil, fmt.Errorf("shuffle: repartition %d free %s: %w", task.MapIndex, key, err)
+			}
+		}
+		total += pl.Size()
+		if raw, real := pl.Bytes(); real {
+			part, err := bed.Unmarshal(raw)
+			if err != nil {
+				return nil, fmt.Errorf("shuffle: repartition %d parse %s: %w", task.MapIndex, key, err)
+			}
+			recs = append(recs, part...)
+		} else {
+			anySized = true
+		}
+	}
+	ctx.ComputeBytes(total, task.PartitionBps)
+
+	if anySized {
+		// Sized mode: even split of the gathered volume.
+		base := total / int64(task.Workers)
+		rem := total % int64(task.Workers)
+		for r := 0; r < task.Workers; r++ {
+			n := base
+			if int64(r) < rem {
+				n++
+			}
+			if err := ctx.Store.Put(ctx.Proc, task.ScratchBucket,
+				partKey(task.JobID, task.MapIndex, r), payload.Sized(n)); err != nil {
+				return nil, fmt.Errorf("shuffle: repartition %d write %d: %w", task.MapIndex, r, err)
+			}
+		}
+		return nil, nil
+	}
+
+	parts := make([][]byte, task.Workers)
+	for _, rec := range recs {
+		r := partitionIndex(bed.SortKey(rec), task.Boundaries)
+		parts[r] = bed.AppendTSV(parts[r], rec)
+	}
+	for r := 0; r < task.Workers; r++ {
+		if err := ctx.Store.Put(ctx.Proc, task.ScratchBucket,
+			partKey(task.JobID, task.MapIndex, r), payload.RealNoCopy(parts[r])); err != nil {
+			return nil, fmt.Errorf("shuffle: repartition %d write %d: %w", task.MapIndex, r, err)
+		}
+	}
+	return nil, nil
+}
+
+// PredictHierarchical models the two-level shuffle's latency with w
+// workers in g groups, mirroring Predict's structure: three waves
+// (spray, repartition, merge), each moving data/w per worker, with the
+// request terms shrunk from w per worker to g or w/g per worker.
+func PredictHierarchical(w, g int, in PlanInput, sp StoreProfile) Plan {
+	in = in.withDefaults()
+	d := float64(in.DataBytes)
+	fw := float64(w)
+	fg := float64(g)
+	k := fw / fg
+	perWorker := d / fw
+
+	rate := sp.PerConnBandwidth
+	if sp.AggregateBandwidth > 0 {
+		if agg := sp.AggregateBandwidth / fw; agg < rate {
+			rate = agg
+		}
+	}
+	lat := sp.RequestLatency.Seconds()
+	toDur := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+	// Round 1: read slice, write g partitions (w*g writes total).
+	reqR1 := math.Max(fg*lat, fw*fg/sp.WriteOpsPerSec)
+	ioR1 := perWorker/rate + perWorker/rate + reqR1 + lat
+	cpuR1 := perWorker / in.PartitionBps
+
+	// Round 2a: gather g objects, write k partitions.
+	reqR2a := math.Max((fg+k)*lat, (fw*fg+fw*k)/sp.ReadOpsPerSec)
+	ioR2a := perWorker/rate + perWorker/rate + reqR2a
+	cpuR2a := perWorker / in.PartitionBps
+
+	// Round 2b: gather k partitions, merge, write one output.
+	reqR2b := math.Max(k*lat, fw*k/sp.ReadOpsPerSec)
+	ioR2b := perWorker/rate + perWorker/rate + reqR2b + lat
+	cpuR2b := perWorker / in.MergeBps
+
+	p := Plan{
+		Workers:   w,
+		Startup:   in.Startup,
+		Phase1IO:  toDur(ioR1 + ioR2a),
+		Phase1CPU: toDur(cpuR1 + cpuR2a),
+		Phase2IO:  toDur(ioR2b),
+		Phase2CPU: toDur(cpuR2b),
+	}
+	p.Predicted = p.Startup + p.Phase1IO + p.Phase1CPU + p.Phase2IO + p.Phase2CPU
+	return p
+}
+
+// HierPlan is the hierarchical planner's decision.
+type HierPlan struct {
+	// Plan is the chosen configuration's prediction.
+	Plan
+	// Groups is the chosen group count (1 = stay one-level).
+	Groups int
+	// OneLevel is the best single-level plan, for comparison.
+	OneLevel Plan
+}
+
+// OptimizeHierarchical searches worker counts and divisor group counts,
+// returning the best two-level configuration alongside the best
+// one-level plan. Callers pick whichever Predicted is lower (the
+// hierarchy wins only when per-request costs dominate).
+func OptimizeHierarchical(in PlanInput, sp StoreProfile) (HierPlan, error) {
+	one, err := Optimize(in, sp)
+	if err != nil {
+		return HierPlan{}, err
+	}
+	in = in.withDefaults()
+	minW := MinWorkersForMemory(in)
+	best := HierPlan{OneLevel: one}
+	for w := minW; w <= in.MaxWorkers; w++ {
+		for g := 2; g <= w; g++ {
+			if w%g != 0 {
+				continue
+			}
+			p := PredictHierarchical(w, g, in, sp)
+			if best.Groups == 0 || p.Predicted < best.Plan.Predicted {
+				best.Plan = p
+				best.Groups = g
+			}
+		}
+	}
+	if best.Groups == 0 {
+		// No composite worker count in range: stay one-level.
+		best.Plan = one
+		best.Groups = 1
+	}
+	best.MinWorkers = minW
+	return best, nil
+}

@@ -1,0 +1,548 @@
+package shuffle
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/faas"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+)
+
+const (
+	// mapFn and reduceFn are the operator's function names on the
+	// platform.
+	mapFn    = "shuffle/map"
+	reduceFn = "shuffle/reduce"
+	// overscan is how far past its range a map worker reads to finish
+	// its last line; bedMethyl lines are ~48 bytes, 4 KiB is generous.
+	overscan = 4096
+	// defaultSampleBytes is the sample size for boundary estimation.
+	defaultSampleBytes = 256 * 1024
+)
+
+// Operator is a serverless shuffle/sort over an object store. One
+// operator registers its map/reduce functions on a platform once and
+// can then run any number of jobs.
+type Operator struct {
+	platform *faas.Platform
+	store    *objectstore.Service
+	seq      int
+}
+
+// NewOperator registers the shuffle functions on the platform.
+func NewOperator(platform *faas.Platform, store *objectstore.Service) (*Operator, error) {
+	op := &Operator{platform: platform, store: store}
+	if err := platform.Register(mapFn, mapHandler); err != nil {
+		return nil, err
+	}
+	if err := platform.Register(reduceFn, reduceHandler); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// Spec describes one sort job.
+type Spec struct {
+	// InputBucket/InputKey locate the unsorted bedMethyl object.
+	InputBucket, InputKey string
+	// OutputBucket/OutputPrefix receive the sorted parts
+	// (<prefix>part-NNNN), globally ordered by part index.
+	OutputBucket, OutputPrefix string
+	// ScratchBucket holds intermediate partitions (default: output
+	// bucket).
+	ScratchBucket string
+	// Workers fixes the parallelism; 0 lets the planner choose.
+	Workers int
+	// MaxWorkers bounds the planner (default 256).
+	MaxWorkers int
+	// WorkerMemBytes is each function's usable memory for planning.
+	WorkerMemBytes int64
+	// SampleBytes is read up front to estimate partition boundaries
+	// (default 256 KiB).
+	SampleBytes int64
+	// PartitionBps / MergeBps are the modeled per-worker throughputs
+	// used both by the planner and to charge virtual compute time.
+	PartitionBps, MergeBps float64
+	// Startup is the planner's per-wave startup estimate.
+	Startup time.Duration
+	// MemoryMB overrides the platform's function memory grant.
+	MemoryMB int
+	// MaxRetries re-attempts invocations lost to transient platform
+	// failures (faas.ErrInvocationFailed) this many extra times.
+	MaxRetries int
+	// Speculate enables straggler mitigation: laggard workers get a
+	// duplicate invocation and the first completion wins. The shuffle's
+	// functions are idempotent (deterministic keys), so this is safe.
+	Speculate bool
+	// Speculation tunes the mitigation when Speculate is set
+	// (zero value: faas defaults).
+	Speculation faas.Speculation
+	// CleanupScratch deletes intermediate partition objects as soon as
+	// they are consumed. Deletes are free on real providers but pay
+	// request latency; the default leaves scratch in place (lifecycle
+	// rules reap it), matching the paper's setup.
+	CleanupScratch bool
+}
+
+func (s Spec) validate() error {
+	if s.InputBucket == "" || s.InputKey == "" {
+		return errors.New("shuffle: input not specified")
+	}
+	if s.OutputBucket == "" {
+		return errors.New("shuffle: output bucket not specified")
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("shuffle: negative workers %d", s.Workers)
+	}
+	if s.CleanupScratch && s.Speculate {
+		// A speculative duplicate re-reads partitions its twin may have
+		// already deleted; the combination is not idempotent.
+		return errors.New("shuffle: CleanupScratch and Speculate are mutually exclusive")
+	}
+	return nil
+}
+
+// Result reports a completed sort.
+type Result struct {
+	// Workers is the parallelism actually used.
+	Workers int
+	// Planned is the planner's decision (zero-valued when Workers was
+	// fixed by the caller).
+	Planned Plan
+	// AutoPlanned reports whether the planner chose the worker count.
+	AutoPlanned bool
+	// Sample, Phase1, Phase2 are the measured stage durations.
+	Sample, Phase1, Phase2 time.Duration
+	// TotalBytes is the input size.
+	TotalBytes int64
+	// OutputKeys are the sorted part keys in global order.
+	OutputKeys []string
+}
+
+// Sort runs the shuffle, blocking p until the sorted output is in
+// place.
+func (op *Operator) Sort(p *des.Proc, spec Spec) (Result, error) {
+	if err := spec.validate(); err != nil {
+		return Result{}, err
+	}
+	if spec.ScratchBucket == "" {
+		spec.ScratchBucket = spec.OutputBucket
+	}
+	if spec.SampleBytes <= 0 {
+		spec.SampleBytes = defaultSampleBytes
+	}
+	op.seq++
+	jobID := fmt.Sprintf("shuffle-%04d", op.seq)
+	client := objectstore.NewClient(op.store)
+
+	head, err := client.Head(p, spec.InputBucket, spec.InputKey)
+	if err != nil {
+		return Result{}, fmt.Errorf("shuffle: stat input: %w", err)
+	}
+	size := head.Size
+	if size == 0 {
+		return Result{}, errors.New("shuffle: empty input")
+	}
+
+	res := Result{TotalBytes: size}
+
+	// Decide parallelism.
+	workers := spec.Workers
+	if workers == 0 {
+		plan, err := Optimize(PlanInput{
+			DataBytes:      size,
+			MaxWorkers:     spec.MaxWorkers,
+			WorkerMemBytes: spec.WorkerMemBytes,
+			PartitionBps:   spec.PartitionBps,
+			MergeBps:       spec.MergeBps,
+			Startup:        spec.Startup,
+		}, ProfileOf(op.store.Config()))
+		if err != nil {
+			return Result{}, err
+		}
+		workers = plan.Workers
+		res.Planned = plan
+		res.AutoPlanned = true
+	}
+	res.Workers = workers
+
+	// Sample for partition boundaries ("on the fly", real mode only).
+	sampleStart := p.Now()
+	boundaries, err := sampleBoundaries(p, client, spec, size, workers)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Sample = p.Now() - sampleStart
+
+	// Phase 1: map / partition.
+	p1Start := p.Now()
+	ranges := splitRanges(size, workers)
+	mapInputs := make([]any, workers)
+	for i := 0; i < workers; i++ {
+		mapInputs[i] = &mapTask{
+			JobID:         jobID,
+			InputBucket:   spec.InputBucket,
+			InputKey:      spec.InputKey,
+			Offset:        ranges[i].off,
+			Length:        ranges[i].n,
+			TotalSize:     size,
+			Workers:       workers,
+			MapIndex:      i,
+			Boundaries:    boundaries,
+			ScratchBucket: spec.ScratchBucket,
+			PartitionBps:  spec.PartitionBps,
+		}
+	}
+	if _, err := op.mapPhase(p, mapFn, mapInputs, spec); err != nil {
+		return Result{}, fmt.Errorf("shuffle: map phase: %w", err)
+	}
+	res.Phase1 = p.Now() - p1Start
+
+	// Phase 2: reduce / merge.
+	p2Start := p.Now()
+	redInputs := make([]any, workers)
+	for i := 0; i < workers; i++ {
+		redInputs[i] = &reduceTask{
+			JobID:         jobID,
+			ScratchBucket: spec.ScratchBucket,
+			Workers:       workers,
+			ReduceIndex:   i,
+			OutputIndex:   i,
+			OutputBucket:  spec.OutputBucket,
+			OutputPrefix:  spec.OutputPrefix,
+			MergeBps:      spec.MergeBps,
+			Cleanup:       spec.CleanupScratch,
+		}
+	}
+	outs, err := op.mapPhase(p, reduceFn, redInputs, spec)
+	if err != nil {
+		return Result{}, fmt.Errorf("shuffle: reduce phase: %w", err)
+	}
+	res.Phase2 = p.Now() - p2Start
+	for _, o := range outs {
+		key, ok := o.(string)
+		if !ok {
+			return Result{}, fmt.Errorf("shuffle: reduce returned %T, want string key", o)
+		}
+		res.OutputKeys = append(res.OutputKeys, key)
+	}
+	return res, nil
+}
+
+// mapPhase runs one wave of fn over inputs with the spec's fault
+// policy: per-invocation retries for transient platform failures and
+// optional straggler speculation.
+func (op *Operator) mapPhase(p *des.Proc, fn string, inputs []any, spec Spec) ([]any, error) {
+	opts := faas.InvokeOptions{MemoryMB: spec.MemoryMB, MaxRetries: spec.MaxRetries}
+	if spec.Speculate {
+		outs, _, err := op.platform.MapSpeculative(p, fn, inputs, opts, spec.Speculation)
+		return outs, err
+	}
+	return op.platform.MapSync(p, fn, inputs, opts)
+}
+
+// sampleBoundaries reads the head of the input and derives w-1 sort
+// key boundaries from sample quantiles. Sized inputs return nil
+// boundaries (timing-only mode splits evenly). Shared by the
+// object-storage and cache operators.
+func sampleBoundaries(p *des.Proc, client *objectstore.Client, spec Spec, size int64, workers int) ([]string, error) {
+	if workers <= 1 {
+		return nil, nil
+	}
+	n := spec.SampleBytes
+	if n > size {
+		n = size
+	}
+	pl, err := client.GetRange(p, spec.InputBucket, spec.InputKey, 0, n)
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: sample: %w", err)
+	}
+	raw, ok := pl.Bytes()
+	if !ok {
+		return nil, nil // sized mode
+	}
+	if cut := bytes.LastIndexByte(raw, '\n'); cut >= 0 {
+		raw = raw[:cut+1]
+	} else if int64(len(raw)) < size {
+		return nil, errors.New("shuffle: sample contains no complete line")
+	}
+	recs, err := bed.Unmarshal(raw)
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: sample parse: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, errors.New("shuffle: empty sample")
+	}
+	keys := make([]string, len(recs))
+	for i, r := range recs {
+		keys[i] = bed.SortKey(r)
+	}
+	sort.Strings(keys)
+	bounds := make([]string, workers-1)
+	for i := 1; i < workers; i++ {
+		bounds[i-1] = keys[i*len(keys)/workers]
+	}
+	return bounds, nil
+}
+
+type byteRange struct {
+	off, n int64
+}
+
+// splitRanges divides [0, size) into w contiguous ranges differing by
+// at most one byte in length.
+func splitRanges(size int64, w int) []byteRange {
+	ranges := make([]byteRange, w)
+	base := size / int64(w)
+	rem := size % int64(w)
+	off := int64(0)
+	for i := 0; i < w; i++ {
+		n := base
+		if int64(i) < rem {
+			n++
+		}
+		ranges[i] = byteRange{off: off, n: n}
+		off += n
+	}
+	return ranges
+}
+
+// ProfileOf converts a store config into the planner's profile.
+func ProfileOf(cfg objectstore.Config) StoreProfile {
+	return StoreProfile{
+		RequestLatency:     cfg.RequestLatency,
+		PerConnBandwidth:   cfg.PerConnBandwidth,
+		AggregateBandwidth: cfg.AggregateBandwidth,
+		ReadOpsPerSec:      cfg.ReadOpsPerSec,
+		WriteOpsPerSec:     cfg.WriteOpsPerSec,
+	}
+}
+
+func partKey(jobID string, m, r int) string {
+	return fmt.Sprintf("%s/m%04d_r%04d", jobID, m, r)
+}
+
+// mapTask is the input of one map-phase activation.
+type mapTask struct {
+	JobID         string
+	InputBucket   string
+	InputKey      string
+	Offset        int64
+	Length        int64
+	TotalSize     int64
+	Workers       int
+	MapIndex      int
+	Boundaries    []string
+	ScratchBucket string
+	PartitionBps  float64
+}
+
+// reduceTask is the input of one reduce-phase activation. OutputIndex
+// names the globally-ordered part this reducer emits; the one-level
+// operator sets it to ReduceIndex, the hierarchical operator to the
+// group-offset global index.
+type reduceTask struct {
+	JobID         string
+	ScratchBucket string
+	Workers       int
+	ReduceIndex   int
+	OutputIndex   int
+	OutputBucket  string
+	OutputPrefix  string
+	MergeBps      float64
+	Cleanup       bool
+}
+
+// mapHandler reads its input slice, partitions records by the sort-key
+// boundaries, and writes one intermediate object per reducer.
+func mapHandler(ctx *faas.Ctx, input any) (any, error) {
+	task, ok := input.(*mapTask)
+	if !ok {
+		return nil, fmt.Errorf("shuffle: map input %T", input)
+	}
+	if task.Length == 0 {
+		// Degenerate split (more workers than bytes): write empty
+		// partitions to keep the key structure uniform.
+		for r := 0; r < task.Workers; r++ {
+			if err := ctx.Store.Put(ctx.Proc, task.ScratchBucket,
+				partKey(task.JobID, task.MapIndex, r), payload.Real(nil)); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+
+	// Read the slice plus enough to finish the final line, and one
+	// byte before to decide first-line ownership.
+	readOff := task.Offset
+	prefixByte := false
+	if readOff > 0 {
+		readOff--
+		prefixByte = true
+	}
+	readLen := task.Offset + task.Length + overscan - readOff
+	if readOff+readLen > task.TotalSize {
+		readLen = task.TotalSize - readOff
+	}
+	pl, err := ctx.Store.GetRange(ctx.Proc, task.InputBucket, task.InputKey, readOff, readLen)
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: map %d read: %w", task.MapIndex, err)
+	}
+	ctx.ComputeBytes(task.Length, task.PartitionBps)
+
+	raw, real := pl.Bytes()
+	if !real {
+		return mapSized(ctx, task)
+	}
+	return nil, mapReal(ctx, task, raw, prefixByte)
+}
+
+func mapReal(ctx *faas.Ctx, task *mapTask, raw []byte, prefixByte bool) error {
+	parts, err := partitionRaw(raw, prefixByte, task.Offset, task.Length, task.Workers, task.Boundaries)
+	if err != nil {
+		return fmt.Errorf("shuffle: map %d: %w", task.MapIndex, err)
+	}
+	for r := 0; r < task.Workers; r++ {
+		if err := ctx.Store.Put(ctx.Proc, task.ScratchBucket,
+			partKey(task.JobID, task.MapIndex, r), payload.RealNoCopy(parts[r])); err != nil {
+			return fmt.Errorf("shuffle: map %d write partition %d: %w", task.MapIndex, r, err)
+		}
+	}
+	return nil
+}
+
+// partitionRaw splits the lines of raw owned by the slice
+// [offset, offset+length) into one buffer per reducer, routing each
+// record by its sort key against the boundaries. prefixByte reports
+// that raw begins one byte before offset (to decide first-line
+// ownership). Shared by the object-storage and cache operators.
+func partitionRaw(raw []byte, prefixByte bool, offset, length int64, workers int, boundaries []string) ([][]byte, error) {
+	// Determine the first line that starts within [offset, offset+length).
+	start := 0
+	if prefixByte {
+		if raw[0] == '\n' {
+			start = 1 // a line starts exactly at offset: ours
+		} else {
+			nl := bytes.IndexByte(raw, '\n')
+			if nl < 0 {
+				return nil, errors.New("no line start in slice")
+			}
+			start = nl + 1
+		}
+	}
+	// Lines whose start position (global) is < offset+length are ours.
+	globalStart := func(local int) int64 {
+		off := offset
+		if prefixByte {
+			off--
+		}
+		return off + int64(local)
+	}
+	limit := offset + length
+
+	parts := make([][]byte, workers)
+	pos := start
+	for pos < len(raw) && globalStart(pos) < limit {
+		nl := bytes.IndexByte(raw[pos:], '\n')
+		var line []byte
+		if nl < 0 {
+			line = raw[pos:]
+			pos = len(raw)
+		} else {
+			line = raw[pos : pos+nl]
+			pos += nl + 1
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		rec, err := bed.ParseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		r := partitionIndex(bed.SortKey(rec), boundaries)
+		parts[r] = bed.AppendTSV(parts[r], rec)
+	}
+	return parts, nil
+}
+
+// mapSized handles timing-only payloads: partition sizes are the even
+// split of this worker's slice.
+func mapSized(ctx *faas.Ctx, task *mapTask) (any, error) {
+	base := task.Length / int64(task.Workers)
+	rem := task.Length % int64(task.Workers)
+	for r := 0; r < task.Workers; r++ {
+		n := base
+		if int64(r) < rem {
+			n++
+		}
+		if err := ctx.Store.Put(ctx.Proc, task.ScratchBucket,
+			partKey(task.JobID, task.MapIndex, r), payload.Sized(n)); err != nil {
+			return nil, fmt.Errorf("shuffle: map %d write partition %d: %w", task.MapIndex, r, err)
+		}
+	}
+	return nil, nil
+}
+
+// partitionIndex returns the partition for a key given sorted
+// boundaries: index i such that boundaries[i-1] <= key < boundaries[i].
+func partitionIndex(key string, boundaries []string) int {
+	return sort.SearchStrings(boundaries, key+"\x00")
+}
+
+// reduceHandler fetches its partition from every mapper, merges, and
+// writes one globally-ordered output part. It returns the output key.
+func reduceHandler(ctx *faas.Ctx, input any) (any, error) {
+	task, ok := input.(*reduceTask)
+	if !ok {
+		return nil, fmt.Errorf("shuffle: reduce input %T", input)
+	}
+	var (
+		recs      []bed.Record
+		sizedOnly int64
+		anySized  bool
+		total     int64
+	)
+	for m := 0; m < task.Workers; m++ {
+		key := partKey(task.JobID, m, task.ReduceIndex)
+		pl, err := ctx.Store.Get(ctx.Proc, task.ScratchBucket, key)
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: reduce %d fetch m%d: %w", task.ReduceIndex, m, err)
+		}
+		if task.Cleanup {
+			if err := ctx.Store.Delete(ctx.Proc, task.ScratchBucket, key); err != nil {
+				return nil, fmt.Errorf("shuffle: reduce %d free m%d: %w", task.ReduceIndex, m, err)
+			}
+		}
+		total += pl.Size()
+		if raw, real := pl.Bytes(); real {
+			part, err := bed.Unmarshal(raw)
+			if err != nil {
+				return nil, fmt.Errorf("shuffle: reduce %d parse m%d: %w", task.ReduceIndex, m, err)
+			}
+			recs = append(recs, part...)
+		} else {
+			anySized = true
+			sizedOnly += pl.Size()
+		}
+	}
+	ctx.ComputeBytes(total, task.MergeBps)
+
+	outKey := fmt.Sprintf("%spart-%04d", task.OutputPrefix, task.OutputIndex)
+	var out payload.Payload
+	if anySized {
+		out = payload.Sized(total)
+	} else {
+		bed.Sort(recs)
+		out = payload.RealNoCopy(bed.Marshal(recs))
+	}
+	if err := ctx.Store.Put(ctx.Proc, task.OutputBucket, outKey, out); err != nil {
+		return nil, fmt.Errorf("shuffle: reduce %d write: %w", task.ReduceIndex, err)
+	}
+	return outKey, nil
+}

@@ -1,0 +1,373 @@
+package shuffle
+
+import (
+	"testing"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/faas"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+)
+
+type testRig struct {
+	sim   *des.Sim
+	store *objectstore.Service
+	pf    *faas.Platform
+	op    *Operator
+}
+
+func newRig(t *testing.T) *testRig {
+	t.Helper()
+	sim := des.New(1)
+	store, err := objectstore.New(sim, objectstore.Config{
+		RequestLatency:     time.Millisecond,
+		PerConnBandwidth:   1e9,
+		AggregateBandwidth: 0,
+		ReadOpsPerSec:      1e6,
+		WriteOpsPerSec:     1e6,
+		OpsBurst:           1e6,
+	})
+	if err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	pf, err := faas.New(sim, store, faas.Config{
+		ColdStart:          100 * time.Millisecond,
+		WarmStart:          5 * time.Millisecond,
+		KeepAlive:          10 * time.Minute,
+		MemoryMB:           2048,
+		BaselineMemoryMB:   2048,
+		ConcurrencyLimit:   500,
+		BillingGranularity: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("platform: %v", err)
+	}
+	op, err := NewOperator(pf, store)
+	if err != nil {
+		t.Fatalf("operator: %v", err)
+	}
+	return &testRig{sim: sim, store: store, pf: pf, op: op}
+}
+
+// loadInput stores records as one TSV object and returns them.
+func (rig *testRig) loadInput(t *testing.T, p *des.Proc, recs []bed.Record) {
+	t.Helper()
+	c := objectstore.NewClient(rig.store)
+	if err := c.CreateBucket(p, "in"); err != nil {
+		t.Fatalf("bucket in: %v", err)
+	}
+	if err := c.CreateBucket(p, "out"); err != nil {
+		t.Fatalf("bucket out: %v", err)
+	}
+	if err := c.Put(p, "in", "data.bed", payload.RealNoCopy(bed.Marshal(recs))); err != nil {
+		t.Fatalf("put input: %v", err)
+	}
+}
+
+// fetchSorted reads back all output parts in order and parses them.
+func (rig *testRig) fetchSorted(t *testing.T, p *des.Proc, keys []string) []bed.Record {
+	t.Helper()
+	c := objectstore.NewClient(rig.store)
+	var all []bed.Record
+	for _, k := range keys {
+		pl, err := c.Get(p, "out", k)
+		if err != nil {
+			t.Fatalf("get %s: %v", k, err)
+		}
+		raw, ok := pl.Bytes()
+		if !ok {
+			t.Fatalf("output %s is not real", k)
+		}
+		recs, err := bed.Unmarshal(raw)
+		if err != nil {
+			t.Fatalf("parse %s: %v", k, err)
+		}
+		all = append(all, recs...)
+	}
+	return all
+}
+
+func recordMultiset(recs []bed.Record) map[bed.Record]int {
+	m := make(map[bed.Record]int, len(recs))
+	for _, r := range recs {
+		m[r]++
+	}
+	return m
+}
+
+func sortSpec(workers int) Spec {
+	return Spec{
+		InputBucket: "in", InputKey: "data.bed",
+		OutputBucket: "out", OutputPrefix: "sorted/",
+		Workers: workers,
+	}
+}
+
+func runSort(t *testing.T, rig *testRig, recs []bed.Record, spec Spec) (Result, []bed.Record) {
+	t.Helper()
+	var res Result
+	var sorted []bed.Record
+	var sortErr error
+	rig.sim.Spawn("driver", func(p *des.Proc) {
+		rig.loadInput(t, p, recs)
+		res, sortErr = rig.op.Sort(p, spec)
+		if sortErr != nil {
+			return
+		}
+		sorted = rig.fetchSorted(t, p, res.OutputKeys)
+	})
+	if err := rig.sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if sortErr != nil {
+		t.Fatalf("Sort: %v", sortErr)
+	}
+	return res, sorted
+}
+
+func TestSortProducesGlobalOrder(t *testing.T) {
+	rig := newRig(t)
+	recs := bed.Generate(bed.GenConfig{Records: 5000, Seed: 1, Sorted: false})
+	res, sorted := runSort(t, rig, recs, sortSpec(8))
+	if res.Workers != 8 {
+		t.Fatalf("workers = %d, want 8", res.Workers)
+	}
+	if len(res.OutputKeys) != 8 {
+		t.Fatalf("output parts = %d, want 8", len(res.OutputKeys))
+	}
+	if len(sorted) != len(recs) {
+		t.Fatalf("sorted count = %d, want %d", len(sorted), len(recs))
+	}
+	if !bed.IsSorted(sorted) {
+		t.Fatal("concatenated output parts are not globally sorted")
+	}
+}
+
+func TestSortPreservesRecords(t *testing.T) {
+	rig := newRig(t)
+	recs := bed.Generate(bed.GenConfig{Records: 3000, Seed: 2, Sorted: false})
+	_, sorted := runSort(t, rig, recs, sortSpec(5))
+	want := recordMultiset(recs)
+	got := recordMultiset(sorted)
+	if len(want) != len(got) {
+		t.Fatalf("distinct records: got %d, want %d", len(got), len(want))
+	}
+	for r, n := range want {
+		if got[r] != n {
+			t.Fatalf("record %+v count = %d, want %d", r, got[r], n)
+		}
+	}
+}
+
+func TestSortSingleWorker(t *testing.T) {
+	rig := newRig(t)
+	recs := bed.Generate(bed.GenConfig{Records: 500, Seed: 3, Sorted: false})
+	res, sorted := runSort(t, rig, recs, sortSpec(1))
+	if len(res.OutputKeys) != 1 {
+		t.Fatalf("parts = %d, want 1", len(res.OutputKeys))
+	}
+	if !bed.IsSorted(sorted) || len(sorted) != len(recs) {
+		t.Fatal("single-worker sort incorrect")
+	}
+}
+
+func TestSortMoreWorkersThanRecords(t *testing.T) {
+	rig := newRig(t)
+	recs := bed.Generate(bed.GenConfig{Records: 5, Seed: 4, Sorted: false})
+	_, sorted := runSort(t, rig, recs, sortSpec(16))
+	if len(sorted) != 5 {
+		t.Fatalf("sorted count = %d, want 5", len(sorted))
+	}
+	if !bed.IsSorted(sorted) {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestSortAlreadySortedInput(t *testing.T) {
+	rig := newRig(t)
+	recs := bed.Generate(bed.GenConfig{Records: 2000, Seed: 5, Sorted: true})
+	_, sorted := runSort(t, rig, recs, sortSpec(4))
+	if !bed.IsSorted(sorted) || len(sorted) != len(recs) {
+		t.Fatal("sorted input mishandled")
+	}
+}
+
+func TestSortAutoPlan(t *testing.T) {
+	rig := newRig(t)
+	recs := bed.Generate(bed.GenConfig{Records: 3000, Seed: 6, Sorted: false})
+	spec := sortSpec(0) // planner chooses
+	spec.MaxWorkers = 32
+	spec.WorkerMemBytes = 2 << 30
+	res, sorted := runSort(t, rig, recs, spec)
+	if !res.AutoPlanned {
+		t.Fatal("AutoPlanned = false")
+	}
+	if res.Workers < 1 || res.Workers > 32 {
+		t.Fatalf("planned workers = %d", res.Workers)
+	}
+	if res.Planned.Predicted <= 0 {
+		t.Fatal("plan has no prediction")
+	}
+	if !bed.IsSorted(sorted) || len(sorted) != len(recs) {
+		t.Fatal("auto-planned sort incorrect")
+	}
+}
+
+func TestSortSizedPayloadTimingOnly(t *testing.T) {
+	rig := newRig(t)
+	var res Result
+	var sortErr error
+	rig.sim.Spawn("driver", func(p *des.Proc) {
+		c := objectstore.NewClient(rig.store)
+		_ = c.CreateBucket(p, "in")
+		_ = c.CreateBucket(p, "out")
+		if err := c.Put(p, "in", "data.bed", payload.Sized(3500e6)); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		res, sortErr = rig.op.Sort(p, sortSpec(8))
+		if sortErr != nil {
+			return
+		}
+		// Outputs must exist and sum to the input size.
+		var total int64
+		for _, k := range res.OutputKeys {
+			obj, err := c.Head(p, "out", k)
+			if err != nil {
+				t.Errorf("head %s: %v", k, err)
+				return
+			}
+			total += obj.Size
+		}
+		if total != 3500e6 {
+			t.Errorf("output bytes = %d, want 3.5e9", total)
+		}
+	})
+	if err := rig.sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if sortErr != nil {
+		t.Fatalf("Sort: %v", sortErr)
+	}
+	if res.Phase1 <= 0 || res.Phase2 <= 0 {
+		t.Fatalf("phases not timed: %+v", res)
+	}
+}
+
+func TestSortEmptyInputFails(t *testing.T) {
+	rig := newRig(t)
+	var sortErr error
+	rig.sim.Spawn("driver", func(p *des.Proc) {
+		c := objectstore.NewClient(rig.store)
+		_ = c.CreateBucket(p, "in")
+		_ = c.CreateBucket(p, "out")
+		_ = c.Put(p, "in", "data.bed", payload.Real(nil))
+		_, sortErr = rig.op.Sort(p, sortSpec(4))
+	})
+	if err := rig.sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if sortErr == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestSortMissingInputFails(t *testing.T) {
+	rig := newRig(t)
+	var sortErr error
+	rig.sim.Spawn("driver", func(p *des.Proc) {
+		c := objectstore.NewClient(rig.store)
+		_ = c.CreateBucket(p, "in")
+		_ = c.CreateBucket(p, "out")
+		_, sortErr = rig.op.Sort(p, sortSpec(4))
+	})
+	if err := rig.sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if sortErr == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestSortSpecValidation(t *testing.T) {
+	rig := newRig(t)
+	bad := []Spec{
+		{OutputBucket: "out"},
+		{InputBucket: "in", InputKey: "k"},
+		{InputBucket: "in", InputKey: "k", OutputBucket: "out", Workers: -1},
+	}
+	for i, spec := range bad {
+		var sortErr error
+		s := spec
+		rig.sim.Spawn("driver", func(p *des.Proc) {
+			_, sortErr = rig.op.Sort(p, s)
+		})
+		if err := rig.sim.Run(); err != nil {
+			t.Fatalf("sim: %v", err)
+		}
+		if sortErr == nil {
+			t.Errorf("spec %d accepted: %+v", i, spec)
+		}
+	}
+}
+
+func TestSortResultTimings(t *testing.T) {
+	rig := newRig(t)
+	recs := bed.Generate(bed.GenConfig{Records: 2000, Seed: 7, Sorted: false})
+	res, _ := runSort(t, rig, recs, sortSpec(4))
+	if res.Sample <= 0 {
+		t.Fatalf("Sample duration = %v, want > 0", res.Sample)
+	}
+	if res.Phase1 <= 0 || res.Phase2 <= 0 {
+		t.Fatalf("phase timings = %v / %v", res.Phase1, res.Phase2)
+	}
+	if res.TotalBytes <= 0 {
+		t.Fatal("TotalBytes not set")
+	}
+}
+
+func TestPartitionIndex(t *testing.T) {
+	bounds := []string{"b", "d", "f"}
+	cases := map[string]int{
+		"a": 0, "b": 1, "c": 1, "d": 2, "e": 2, "f": 3, "z": 3,
+	}
+	for key, want := range cases {
+		if got := partitionIndex(key, bounds); got != want {
+			t.Errorf("partitionIndex(%q) = %d, want %d", key, got, want)
+		}
+	}
+	if got := partitionIndex("anything", nil); got != 0 {
+		t.Errorf("nil boundaries partition = %d, want 0", got)
+	}
+}
+
+func TestSplitRanges(t *testing.T) {
+	ranges := splitRanges(10, 3)
+	if len(ranges) != 3 {
+		t.Fatalf("ranges = %d", len(ranges))
+	}
+	var total int64
+	prevEnd := int64(0)
+	for _, r := range ranges {
+		if r.off != prevEnd {
+			t.Fatalf("gap at %d", r.off)
+		}
+		prevEnd = r.off + r.n
+		total += r.n
+	}
+	if total != 10 {
+		t.Fatalf("total = %d, want 10", total)
+	}
+	if ranges[0].n != 4 || ranges[1].n != 3 || ranges[2].n != 3 {
+		t.Fatalf("ranges = %+v, want 4/3/3", ranges)
+	}
+}
+
+func TestDuplicateOperatorRegistrationFails(t *testing.T) {
+	rig := newRig(t)
+	if _, err := NewOperator(rig.pf, rig.store); err == nil {
+		t.Fatal("second operator on one platform accepted")
+	}
+}
