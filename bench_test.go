@@ -29,6 +29,15 @@ func BenchmarkTable1VMSupported(b *testing.B) {
 	benchPipeline(b, experiments.VMSupported)
 }
 
+// BenchmarkTable1AutoPlanned runs the same pipeline with the
+// cost-based planner choosing the exchange strategy and its
+// configuration — the row the paper argues for but never measures. Its
+// virtual-s metric should track (or beat) the better hand-configured
+// row above.
+func BenchmarkTable1AutoPlanned(b *testing.B) {
+	benchPipeline(b, experiments.AutoPlanned)
+}
+
 func benchPipeline(b *testing.B, kind experiments.StrategyKind) {
 	profile := calib.Paper()
 	var run experiments.PipelineRun

@@ -14,7 +14,13 @@
 //	faasbench -experiment memsweep [-data 3.5] [-workers 8]
 //	faasbench -experiment costs [-data 3.5] [-workers 8]
 //	faasbench -experiment planner
+//	faasbench -experiment autoplan [-data 3.5]
 //	faasbench -experiment all
+//	faasbench -auto [-data 3.5]
+//
+// The -auto flag engages the cost-based strategy planner: it prints
+// the candidate decision table (strategy/config -> predicted time and
+// cost -> chosen) and adds the auto-planned row to table1.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/faaspipe/faaspipe/internal/autoplan"
 	"github.com/faaspipe/faaspipe/internal/calib"
 	"github.com/faaspipe/faaspipe/internal/experiments"
 )
@@ -29,23 +36,52 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "table1",
-			"one of: table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, all")
+			"one of: table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, autoplan, all")
 		dataGB  = flag.Float64("data", 3.5, "dataset size in GB")
 		workers = flag.Int("workers", 8, "parallelism degree")
 		trace   = flag.Bool("trace", false, "print per-stage timelines (table1)")
+		auto    = flag.Bool("auto", false,
+			"engage the auto-planner: print its decision table and add the auto-planned row to table1")
 	)
 	flag.Parse()
-	if err := run(*experiment, *dataGB, *workers, *trace); err != nil {
+	if err := run(*experiment, *dataGB, *workers, *trace, *auto); err != nil {
 		fmt.Fprintln(os.Stderr, "faasbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, dataGB float64, workers int, trace bool) error {
+func run(experiment string, dataGB float64, workers int, trace, auto bool) error {
 	profile := calib.Paper()
 	dataBytes := int64(dataGB * 1e9)
 
+	decide := func() error {
+		dec, err := experiments.Decide(profile, dataBytes, autoplan.Objective{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(dec)
+		return nil
+	}
+	autoplanFn := func() error {
+		if err := decide(); err != nil {
+			return err
+		}
+		res, err := experiments.Table1Auto(profile, dataBytes, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		if trace {
+			fmt.Println(res.StageTrace())
+		}
+		return nil
+	}
 	table1 := func() error {
+		if auto {
+			// `faasbench -auto`: the decision table plus the measured
+			// comparison it predicts (trace still honored).
+			return autoplanFn()
+		}
 		res, err := experiments.Table1(profile, dataBytes, workers)
 		if err != nil {
 			return err
@@ -170,8 +206,19 @@ func run(experiment string, dataGB float64, workers int, trace bool) error {
 		return costs()
 	case "planner":
 		return planner()
+	case "autoplan":
+		return autoplanFn()
 	case "all":
-		for _, fn := range []func() error{table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner} {
+		// The trailing autoplan step is the decision table only: table1
+		// already ran the measured rows (with -auto it runs the full
+		// autoplan experiment, decision table included), so re-running
+		// Table1Auto here would re-simulate the most expensive part of
+		// the sweep.
+		steps := []func() error{table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner}
+		if !auto {
+			steps = append(steps, decide)
+		}
+		for _, fn := range steps {
 			if err := fn(); err != nil {
 				return err
 			}

@@ -1,0 +1,64 @@
+// Autoplan: "a seer knows best". The right exchange strategy depends
+// on data volume, the storage services' throughput profiles, and
+// price — so instead of hand-picking one, the middleware's cost-based
+// planner enumerates every (strategy, configuration) candidate,
+// predicts each one's completion time and USD cost, and commits to the
+// winner for the caller's objective. This example prints the decision
+// table at three volumes — watch the chosen strategy flip — then runs
+// the paper's Table 1 pipeline with the planner in charge.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/autoplan"
+	"github.com/faaspipe/faaspipe/internal/calib"
+	"github.com/faaspipe/faaspipe/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "autoplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	profile := calib.Paper()
+
+	// The decision is pure arithmetic over the calibrated profiles —
+	// no simulation runs — so planning a 100 GB job costs the same
+	// microseconds as a 1 GB one.
+	for _, dataBytes := range []int64{1e9, experiments.PaperDataBytes, 100e9} {
+		dec, err := experiments.Decide(profile, dataBytes, autoplan.Objective{Goal: autoplan.MinTime})
+		if err != nil {
+			return err
+		}
+		fmt.Println(dec)
+	}
+
+	// The same sweep under a different objective: cheapest plan that
+	// still finishes within two minutes.
+	dec, err := experiments.Decide(profile, experiments.PaperDataBytes,
+		autoplan.Objective{Goal: autoplan.MinCostWithin, TimeBound: 2 * time.Minute})
+	if err != nil {
+		return err
+	}
+	fmt.Println(dec)
+
+	// And the proof: Table 1 with the auto-planned row next to the
+	// paper's two hand-configured pipelines.
+	res, err := experiments.Table1Auto(profile, 0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	for _, row := range res.Rows {
+		if row.Kind == experiments.AutoPlanned && row.AutoDecision != nil {
+			fmt.Println(row.AutoDecision.Summary())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/faaspipe/faaspipe
+
+go 1.22

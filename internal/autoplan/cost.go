@@ -1,0 +1,193 @@
+package autoplan
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/memcache"
+	"github.com/faaspipe/faaspipe/internal/shuffle"
+	"github.com/faaspipe/faaspipe/internal/vm"
+)
+
+// The predictors below mirror the operators' execution shape
+// request-for-request: the time side reuses the shuffle package's
+// latency models, and the cost side prices what those models say each
+// worker does — GB-seconds of function time, class A/B storage
+// requests, cache node-hours, VM instance-hours — with the same
+// billing.PriceBook the executor meters real runs with. EXPERIMENTS.md
+// records the model per strategy.
+
+const secondsPerMonth = 30 * 24 * 3600
+
+// functionUSD prices workers running activeSeconds each (plus
+// per-invocation fees for invocations activations).
+func functionUSD(env Env, workers int, activeSeconds float64, invocations int) float64 {
+	memGB := float64(env.FunctionMemoryMB) / 1024
+	return float64(workers)*activeSeconds*memGB*env.Prices.FunctionGBSecond +
+		float64(invocations)*env.Prices.FunctionInvocation
+}
+
+// storageUSD prices classA writes, classB reads, and heldBytes kept in
+// the store for the run's duration.
+func storageUSD(env Env, classA, classB int64, heldBytes int64, dur time.Duration) float64 {
+	volume := float64(heldBytes) / float64(1<<30) * dur.Seconds() / secondsPerMonth * env.Prices.StorageGBMonth
+	return float64(classA)*env.Prices.StorageClassA +
+		float64(classB)*env.Prices.StorageClassB + volume
+}
+
+// activeSeconds is the per-worker billed time of a function-based
+// plan: the I/O and CPU breakdown, without the shared startup wave.
+func activeSeconds(p shuffle.Plan) float64 {
+	return (p.Phase1IO + p.Phase1CPU + p.Phase2IO + p.Phase2CPU).Seconds()
+}
+
+// predictObjectStorage models the one-level all-to-all: w workers, w^2
+// intermediate objects through the store.
+func predictObjectStorage(w int, wl Workload, env Env) Candidate {
+	plan := shuffle.Predict(w, wl.planInput(env.FunctionStartup), env.Store)
+	fw := int64(w)
+	classA := fw*fw + fw     // phase-1 partition writes + output writes
+	classB := 2 + fw + fw*fw // head + sample, input range reads, phase-2 reads
+	cost := functionUSD(env, w, activeSeconds(plan), 2*w) +
+		storageUSD(env, classA, classB, 2*wl.DataBytes, plan.Predicted)
+	return Candidate{
+		Strategy: ObjectStorage,
+		Workers:  w,
+		Time:     plan.Predicted,
+		CostUSD:  cost,
+		Feasible: true,
+	}
+}
+
+// predictHierarchical models the two-level shuffle at the best divisor
+// group count for this worker count.
+func predictHierarchical(w int, wl Workload, env Env) Candidate {
+	in := wl.planInput(env.FunctionStartup)
+	bestG := 0
+	var best shuffle.Plan
+	for g := 2; g <= w; g++ {
+		if w%g != 0 {
+			continue
+		}
+		p := shuffle.PredictHierarchical(w, g, in, env.Store)
+		if bestG == 0 || p.Predicted < best.Predicted {
+			best, bestG = p, g
+		}
+	}
+	if bestG == 0 {
+		return Candidate{
+			Strategy: Hierarchical, Workers: w,
+			Feasible: false, Reason: fmt.Sprintf("%d has no divisor >= 2", w),
+		}
+	}
+	fw, fg := int64(w), int64(bestG)
+	k := fw / fg
+	classA := fw*fg + fw*k + fw     // round-1 sprays, repartition writes, outputs
+	classB := 2 + fw + fw*fg + fw*k // head + sample, input reads, gather rounds
+	cost := functionUSD(env, w, activeSeconds(best), 3*w) +
+		storageUSD(env, classA, classB, 2*wl.DataBytes, best.Predicted)
+	return Candidate{
+		Strategy: Hierarchical,
+		Workers:  w,
+		Groups:   bestG,
+		Time:     best.Predicted,
+		CostUSD:  cost,
+		Feasible: true,
+	}
+}
+
+// predictCache models the memcache-backed exchange: input and output
+// through the object store, the w^2 partition exchange through a
+// cluster sized for the volume. The cluster bills node-hours for the
+// whole job window.
+func predictCache(w int, wl Workload, env Env) Candidate {
+	nodes := memcache.NodesForCapacity(env.Cache, wl.DataBytes, env.CacheHeadroom)
+	c := Candidate{Strategy: CacheBacked, Workers: w, CacheNodes: nodes}
+	if env.CacheMaxNodes > 0 && nodes > env.CacheMaxNodes {
+		c.Reason = fmt.Sprintf("needs %d nodes, quota %d", nodes, env.CacheMaxNodes)
+		return c
+	}
+	cacheProf := shuffle.CacheProfile(env.Cache, nodes)
+
+	d := float64(wl.DataBytes)
+	fw := float64(w)
+	perWorker := d / fw
+
+	storeRate := env.Store.PerConnBandwidth
+	if env.Store.AggregateBandwidth > 0 {
+		if agg := env.Store.AggregateBandwidth / fw; agg < storeRate {
+			storeRate = agg
+		}
+	}
+	cacheRate := cacheProf.PerConnBandwidth
+	if cacheProf.AggregateBandwidth > 0 {
+		if agg := cacheProf.AggregateBandwidth / fw; agg < cacheRate {
+			cacheRate = agg
+		}
+	}
+	slat := env.Store.RequestLatency.Seconds()
+	clat := cacheProf.RequestLatency.Seconds()
+
+	// Phase 1: read the input slice from the store, partition, Set w
+	// entries into the cache (w^2 sets jointly throttled).
+	p1 := perWorker/storeRate + perWorker/cacheRate +
+		math.Max(fw*clat, fw*fw/cacheProf.WriteOpsPerSec) + slat +
+		perWorker/wl.PartitionBps
+	// Phase 2: Get w entries from the cache, merge, write one output
+	// part to the store.
+	p2 := perWorker/cacheRate + perWorker/storeRate +
+		math.Max(fw*clat, fw*fw/cacheProf.ReadOpsPerSec) + slat +
+		perWorker/wl.MergeBps
+
+	provision := env.Cache.ProvisionTime
+	if env.CacheWarm {
+		provision = 0
+	}
+	exchange := env.FunctionStartup.Seconds() + p1 + p2
+	c.Time = provision + time.Duration(exchange*float64(time.Second))
+
+	clusterHours := (provision.Seconds() + exchange) / 3600
+	c.CostUSD = functionUSD(env, w, p1+p2, 2*w) +
+		float64(nodes)*env.Cache.NodeHourlyUSD*clusterHours +
+		storageUSD(env, int64(w), 2+int64(w), 2*wl.DataBytes, c.Time)
+	c.Feasible = true
+	return c
+}
+
+// predictVM models the staged sort: boot + agent setup, parallel
+// ranged GETs through the instance NIC, one local sort, parallel PUTs
+// of the output parts.
+func predictVM(it vm.InstanceType, wl Workload, env Env) Candidate {
+	c := Candidate{Strategy: VMStaged, Workers: wl.OutputParts, Instance: it.Name}
+	if int64(it.MemoryGB)<<30 < wl.DataBytes {
+		c.Reason = fmt.Sprintf("%d GB memory < dataset", it.MemoryGB)
+		return c
+	}
+	conns := env.VMConns
+	if conns <= 0 {
+		conns = it.VCPUs
+	}
+	rate := it.NICBandwidth
+	if perConn := env.Store.PerConnBandwidth * float64(conns); perConn < rate {
+		rate = perConn
+	}
+	if env.Store.AggregateBandwidth > 0 && env.Store.AggregateBandwidth < rate {
+		rate = env.Store.AggregateBandwidth
+	}
+	d := float64(wl.DataBytes)
+	lat := env.Store.RequestLatency.Seconds()
+	stageIn := d/rate + lat
+	sortT := d / env.VMSortBps
+	stageOut := d/rate + lat
+	total := it.BootTime.Seconds() + env.VMSetup.Seconds() + stageIn + sortT + stageOut
+	c.Time = time.Duration(total * float64(time.Second))
+
+	hours := total / 3600
+	instUSD := it.HourlyUSD*hours +
+		float64(it.MemoryGB)*env.Prices.StorageGBMonth*hours/(30*24)
+	c.CostUSD = instUSD +
+		storageUSD(env, int64(wl.OutputParts), int64(conns)+1, 2*wl.DataBytes, c.Time)
+	c.Feasible = true
+	return c
+}

@@ -1,0 +1,41 @@
+package autoplan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the decision as the candidate table the CLI and the
+// autoplan example print: candidate -> predicted time/cost -> chosen.
+func (d Decision) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Auto-planner decision: %.2f GB, objective %s",
+		float64(d.Workload.DataBytes)/1e9, d.Objective.Goal)
+	if d.Objective.Goal == MinCostWithin && d.Objective.TimeBound > 0 {
+		fmt.Fprintf(&b, " (bound %.1fs)", d.Objective.TimeBound.Seconds())
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "%-15s %-20s %12s %11s  %s\n",
+		"strategy", "config", "pred (s)", "pred ($)", "")
+	for _, c := range d.Candidates {
+		if !c.Feasible {
+			fmt.Fprintf(&b, "%-15s %-20s %12s %11s  infeasible: %s\n",
+				c.Strategy, c.Config(), "-", "-", c.Reason)
+			continue
+		}
+		marker := ""
+		if c.Same(d.Chosen) {
+			marker = "<- chosen"
+		}
+		fmt.Fprintf(&b, "%-15s %-20s %12.2f %11.6f  %s\n",
+			c.Strategy, c.Config(), c.Time.Seconds(), c.CostUSD, marker)
+	}
+	return b.String()
+}
+
+// Summary is the one-line form for stage details and logs.
+func (d Decision) Summary() string {
+	c := d.Chosen
+	return fmt.Sprintf("auto-planned %s (%s): predicted %.2fs / $%.6f over %d candidates, objective %s",
+		c.Strategy, c.Config(), c.Time.Seconds(), c.CostUSD, len(d.Candidates), d.Objective.Goal)
+}

@@ -1,0 +1,19 @@
+package calib
+
+import (
+	"testing"
+
+	"github.com/faaspipe/faaspipe/internal/autoplan"
+)
+
+func TestPlanEnvCachelessProfileDoesNotHang(t *testing.T) {
+	p := Paper()
+	p.Cache.NodeMemoryBytes = 0
+	env := PlanEnv(p)
+	if env.HasCache {
+		t.Fatal("HasCache true with zero node memory")
+	}
+	if _, err := autoplan.Plan(PlanWorkload(p, 1e9), env, autoplan.Objective{}); err != nil {
+		t.Fatalf("cache-less plan: %v", err)
+	}
+}

@@ -50,6 +50,9 @@ type Profile struct {
 	Cache memcache.Config
 	// CacheNodes fixes the cache cluster size (0: sized from data).
 	CacheNodes int
+	// CacheMaxNodes caps the cluster the auto-planner may size
+	// (0: no quota).
+	CacheMaxNodes int
 	// PartitionBps / MergeBps are per-function shuffle throughputs at
 	// the baseline memory grant.
 	PartitionBps, MergeBps float64

@@ -3,6 +3,7 @@ package calib
 import (
 	"fmt"
 
+	"github.com/faaspipe/faaspipe/internal/autoplan"
 	"github.com/faaspipe/faaspipe/internal/core"
 	"github.com/faaspipe/faaspipe/internal/des"
 	"github.com/faaspipe/faaspipe/internal/faas"
@@ -108,5 +109,53 @@ func (r *Rig) CacheStrategy(warm bool) *core.CacheExchange {
 	return &core.CacheExchange{
 		Nodes: r.Profile.CacheNodes,
 		Warm:  warm,
+	}
+}
+
+// AutoStrategy builds the profile's planner-backed strategy: the
+// cost-based seer that picks exchange family and configuration per
+// job. The zero objective minimizes predicted completion time.
+func (r *Rig) AutoStrategy(obj autoplan.Objective) *core.AutoExchange {
+	return &core.AutoExchange{
+		Objective:     obj,
+		VM:            *r.VMStrategy(),
+		Cache:         *r.CacheStrategy(false),
+		CacheMaxNodes: r.Profile.CacheMaxNodes,
+	}
+}
+
+// PlanWorkload derives the auto-planner's workload for this profile
+// and volume, mirroring SortParams.
+func PlanWorkload(p Profile, dataBytes int64) autoplan.Workload {
+	return autoplan.Workload{
+		DataBytes:      dataBytes,
+		MaxWorkers:     256,
+		WorkerMemBytes: int64(p.Faas.MemoryMB) << 20,
+		PartitionBps:   p.PartitionBps,
+		MergeBps:       p.MergeBps,
+	}
+}
+
+// PlanEnv converts a profile into the auto-planner's priced cloud, the
+// offline counterpart of what core.AutoExchange assembles from a live
+// executor.
+func PlanEnv(p Profile) autoplan.Env {
+	types := p.VMTypes
+	if len(types) == 0 {
+		types = vm.Catalog()
+	}
+	return autoplan.Env{
+		Store:            shuffle.ProfileOf(p.Store),
+		FunctionMemoryMB: p.Faas.MemoryMB,
+		FunctionStartup:  p.Faas.ColdStart,
+		Prices:           p.Prices,
+		HasCache:         p.Cache.NodeMemoryBytes > 0,
+		Cache:            p.Cache,
+		CacheMaxNodes:    p.CacheMaxNodes,
+		VMTypes:          types,
+		VMInstanceType:   p.InstanceType,
+		VMSetup:          p.VMSetup,
+		VMSortBps:        p.VMSortBps,
+		VMConns:          p.VMConns,
 	}
 }

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/faaspipe/faaspipe/internal/autoplan"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+	"github.com/faaspipe/faaspipe/internal/shuffle"
+)
+
+// StrategyCode selects the exchange family for a sort stage that has
+// no explicit ExchangeStrategy. The zero value, Auto, hands the choice
+// to the cost-based planner; the Use* codes force a family but still
+// let the planner size its configuration (workers, groups, nodes,
+// instance type).
+type StrategyCode int
+
+// Auto (the zero value) consults the planner across every family.
+const (
+	Auto StrategyCode = iota
+	UseObjectStorage
+	UseHierarchical
+	UseCache
+	UseVM
+)
+
+// allowed maps a forced code onto the planner's family filter.
+func (c StrategyCode) allowed() ([]autoplan.Strategy, error) {
+	switch c {
+	case Auto:
+		return nil, nil
+	case UseObjectStorage:
+		return []autoplan.Strategy{autoplan.ObjectStorage}, nil
+	case UseHierarchical:
+		return []autoplan.Strategy{autoplan.Hierarchical}, nil
+	case UseCache:
+		return []autoplan.Strategy{autoplan.CacheBacked}, nil
+	case UseVM:
+		return []autoplan.Strategy{autoplan.VMStaged}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown strategy code %d", int(c))
+	}
+}
+
+// AutoExchange is the planner-backed strategy — the paper's "seer":
+// it stats the input, asks internal/autoplan for the best (strategy,
+// configuration) pair under its objective, and dispatches the sort to
+// the winning concrete strategy. The full decision table is kept on
+// LastDecision for reporting.
+type AutoExchange struct {
+	// Objective is what to optimize (zero value: minimum time).
+	Objective autoplan.Objective
+	// Allow restricts the families considered (nil: all available on
+	// the executor).
+	Allow []autoplan.Strategy
+	// VM carries the VM family's dispatch knobs (instance type pins the
+	// catalog entry; Setup/SortBps/Conns shape its model and run).
+	VM VMExchange
+	// Cache carries the cache family's dispatch knobs (Warm, Headroom).
+	Cache CacheExchange
+	// CacheMaxNodes caps the cluster the planner may provision
+	// (0: no quota).
+	CacheMaxNodes int
+	// LastDecision is the most recent planner output (for reports; the
+	// simulation kernel runs one process at a time, so reads after the
+	// stage are safe).
+	LastDecision *autoplan.Decision
+}
+
+var _ ExchangeStrategy = (*AutoExchange)(nil)
+
+// Name implements ExchangeStrategy.
+func (*AutoExchange) Name() string { return "auto" }
+
+// planEnv assembles the planner's priced cloud from the executor's
+// live services — the same profiles the run will execute against.
+func (a *AutoExchange) planEnv(exec *Executor) autoplan.Env {
+	env := autoplan.Env{
+		Store:            shuffle.ProfileOf(exec.Store.Config()),
+		FunctionMemoryMB: exec.Platform.Config().MemoryMB,
+		FunctionStartup:  exec.Platform.Config().ColdStart,
+		Prices:           exec.Prices,
+		NoHierarchical:   !exec.Shuffle.HierarchicalEnabled(),
+	}
+	if exec.CacheShuffle != nil && exec.CacheProv != nil {
+		env.HasCache = true
+		env.Cache = exec.CacheProv.Config()
+		env.CacheMaxNodes = a.CacheMaxNodes
+		env.CacheWarm = a.Cache.Warm
+		env.CacheHeadroom = a.Cache.Headroom
+	}
+	if exec.Provisioner != nil {
+		env.VMTypes = exec.Provisioner.Types()
+		env.VMInstanceType = a.VM.InstanceType
+		env.VMSetup = a.VM.Setup
+		env.VMSortBps = a.VM.SortBps
+		env.VMConns = a.VM.Conns
+	}
+	return env
+}
+
+// filterEnv drops families the Allow list (or the stage's forced
+// strategy code) excludes.
+func filterEnv(env autoplan.Env, allow []autoplan.Strategy) autoplan.Env {
+	if len(allow) == 0 {
+		return env
+	}
+	has := func(s autoplan.Strategy) bool {
+		for _, x := range allow {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(autoplan.ObjectStorage) {
+		env.NoObjectStorage = true
+	}
+	if !has(autoplan.Hierarchical) {
+		env.NoHierarchical = true
+	}
+	if !has(autoplan.CacheBacked) {
+		env.HasCache = false
+	}
+	if !has(autoplan.VMStaged) {
+		env.VMTypes = nil
+	}
+	return env
+}
+
+// RunSort implements ExchangeStrategy.
+func (a *AutoExchange) RunSort(ctx *StageContext, params SortParams) (SortOutcome, error) {
+	if ctx.Exec.Shuffle == nil {
+		return SortOutcome{}, errors.New("core: executor has no shuffle operator")
+	}
+	client := objectstore.NewClient(ctx.Exec.Store)
+	head, err := client.Head(ctx.Proc, params.InputBucket, params.InputKey)
+	if err != nil {
+		return SortOutcome{}, fmt.Errorf("auto exchange: stat input: %w", err)
+	}
+
+	startup := params.Startup
+	if startup <= 0 {
+		startup = ctx.Exec.Platform.Config().ColdStart
+	}
+	wl := autoplan.Workload{
+		DataBytes:      head.Size,
+		MaxWorkers:     params.MaxWorkers,
+		Workers:        params.Workers,
+		WorkerMemBytes: params.WorkerMemBytes,
+		PartitionBps:   params.PartitionBps,
+		MergeBps:       params.MergeBps,
+		OutputParts:    params.Workers,
+	}
+	env := filterEnv(a.planEnv(ctx.Exec), a.Allow)
+	env.FunctionStartup = startup
+	if params.MemoryMB > 0 {
+		env.FunctionMemoryMB = params.MemoryMB
+	}
+
+	dec, err := autoplan.Plan(wl, env, a.Objective)
+	if err != nil {
+		return SortOutcome{}, fmt.Errorf("auto exchange: %w", err)
+	}
+	a.LastDecision = &dec
+
+	outcome, err := a.dispatch(ctx, params, dec.Chosen)
+	if err != nil {
+		return outcome, err
+	}
+	outcome.Detail = dec.Summary() + "; " + outcome.Detail
+	return outcome, nil
+}
+
+// dispatch hands the job to the chosen family's concrete strategy with
+// the planned configuration filled in.
+func (a *AutoExchange) dispatch(ctx *StageContext, params SortParams, c autoplan.Candidate) (SortOutcome, error) {
+	q := params
+	q.Workers = c.Workers
+	switch c.Strategy {
+	case autoplan.ObjectStorage:
+		q.Hierarchical = false
+		return ObjectStorageExchange{}.RunSort(ctx, q)
+	case autoplan.Hierarchical:
+		q.Hierarchical = true
+		q.Groups = c.Groups
+		return ObjectStorageExchange{}.RunSort(ctx, q)
+	case autoplan.CacheBacked:
+		ce := a.Cache
+		ce.Nodes = c.CacheNodes
+		return ce.RunSort(ctx, q)
+	case autoplan.VMStaged:
+		ve := a.VM
+		ve.InstanceType = c.Instance
+		if ve.SortBps <= 0 {
+			// Run with the same sort throughput the planner predicted
+			// with, or the simulated VM skips the sort pass entirely
+			// and the measurement flatters the prediction.
+			ve.SortBps = autoplan.DefaultVMSortBps
+		}
+		return ve.RunSort(ctx, q)
+	default:
+		return SortOutcome{}, fmt.Errorf("auto exchange: unknown strategy %v", c.Strategy)
+	}
+}
+
+// strategyForCode builds the stage-level default strategy for a sort
+// whose SortStage.Strategy is nil: the planner, possibly restricted to
+// one forced family.
+func strategyForCode(code StrategyCode) (ExchangeStrategy, error) {
+	allow, err := code.allowed()
+	if err != nil {
+		return nil, err
+	}
+	return &AutoExchange{Allow: allow}, nil
+}

@@ -13,6 +13,12 @@ import (
 
 // SortParams configure a sort stage, independent of strategy.
 type SortParams struct {
+	// Strategy selects the exchange family when the stage has no
+	// explicit ExchangeStrategy: the zero value, Auto, asks the
+	// cost-based planner (internal/autoplan) to pick strategy and
+	// configuration from the executor's live profiles; the Use* codes
+	// force one family and let the planner size it.
+	Strategy StrategyCode
 	// InputBucket/InputKey locate the unsorted dataset.
 	InputBucket, InputKey string
 	// OutputBucket/OutputPrefix receive the sorted parts.

@@ -14,7 +14,9 @@ import (
 type SortStage struct {
 	// StageName identifies the stage (default "sort").
 	StageName string
-	// Strategy is the data-exchange strategy to use.
+	// Strategy is the data-exchange strategy to use. nil defers to
+	// Params.Strategy: the cost-based auto-planner (Auto, the zero
+	// value) or a forced family the planner still sizes.
 	Strategy ExchangeStrategy
 	// Params configure the sort job.
 	Params SortParams
@@ -32,15 +34,20 @@ func (s *SortStage) Name() string {
 
 // Run implements Stage.
 func (s *SortStage) Run(ctx *StageContext) error {
-	if s.Strategy == nil {
-		return errors.New("core: sort stage has no strategy")
+	strat := s.Strategy
+	if strat == nil {
+		var err error
+		if strat, err = strategyForCode(s.Params.Strategy); err != nil {
+			return err
+		}
 	}
-	outcome, err := s.Strategy.RunSort(ctx, s.Params)
+	outcome, err := strat.RunSort(ctx, s.Params)
 	if err != nil {
 		return err
 	}
 	ctx.State.Set(s.Name()+".keys", outcome.OutputKeys)
 	ctx.State.Set(s.Name()+".workers", outcome.Workers)
+	ctx.State.Set(s.Name()+".detail", outcome.Detail)
 	return nil
 }
 

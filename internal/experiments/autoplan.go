@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/faaspipe/faaspipe/internal/autoplan"
+	"github.com/faaspipe/faaspipe/internal/calib"
+)
+
+// DecisionResult is the auto-planner's offline decision for one
+// workload: the candidate table behind "a seer knows best".
+type DecisionResult struct {
+	DataBytes int64
+	Decision  autoplan.Decision
+}
+
+// Decide runs the cost-based planner over the profile's cloud at the
+// given volume without executing anything: pure prediction, the
+// decision table the CLI and the autoplan example print.
+func Decide(profile calib.Profile, dataBytes int64, obj autoplan.Objective) (DecisionResult, error) {
+	if dataBytes <= 0 {
+		dataBytes = PaperDataBytes
+	}
+	dec, err := autoplan.Plan(calib.PlanWorkload(profile, dataBytes), calib.PlanEnv(profile), obj)
+	if err != nil {
+		return DecisionResult{}, fmt.Errorf("experiments: decide %d bytes: %w", dataBytes, err)
+	}
+	return DecisionResult{DataBytes: dataBytes, Decision: dec}, nil
+}
+
+// String renders the decision table.
+func (r DecisionResult) String() string {
+	return r.Decision.String()
+}
+
+// Table1Auto extends the Table 1 reproduction with the auto-planned
+// row: the same pipeline, but the exchange strategy and its
+// configuration chosen by the planner at runtime. The auto row should
+// never lose to both measured configurations — if it does, the cost
+// model has drifted from the simulation.
+func Table1Auto(profile calib.Profile, dataBytes int64, workers int) (Table1Result, error) {
+	res, err := Table1(profile, dataBytes, workers)
+	if err != nil {
+		return res, err
+	}
+	run, err := RunPipeline(profile, AutoPlanned, res.DataBytes, res.Workers)
+	if err != nil {
+		return res, fmt.Errorf("experiments: %v: %w", AutoPlanned, err)
+	}
+	res.Rows = append(res.Rows, run)
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/faaspipe/faaspipe/internal/autoplan"
+	"github.com/faaspipe/faaspipe/internal/calib"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestDecideTable1Golden pins the planner's decision table for the
+// paper's Table 1 workload (3.5 GB on the paper profile). The golden
+// file is the contract that the cost model only changes deliberately:
+// regenerate with `go test ./internal/experiments -run Golden -update`.
+func TestDecideTable1Golden(t *testing.T) {
+	res, err := Decide(calib.Paper(), PaperDataBytes, autoplan.Objective{Goal: autoplan.MinTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.String()
+	golden := filepath.Join("testdata", "decision_table1.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("decision table drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestTable1AutoRow: the auto-planned pipeline must run, carry its
+// decision, and not lose to both measured Table 1 configurations — the
+// planner exists to never pick worse than the known options.
+func TestTable1AutoRow(t *testing.T) {
+	res, err := Table1Auto(calib.Paper(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	var serverless, vmRun, auto PipelineRun
+	for _, row := range res.Rows {
+		switch row.Kind {
+		case PurelyServerless:
+			serverless = row
+		case VMSupported:
+			vmRun = row
+		case AutoPlanned:
+			auto = row
+		}
+	}
+	if auto.Report == nil {
+		t.Fatal("auto row has no report")
+	}
+	if auto.AutoDecision == nil {
+		t.Fatal("auto row has no planner decision")
+	}
+	if auto.Latency > serverless.Latency && auto.Latency > vmRun.Latency {
+		t.Errorf("auto-planned run (%v) slower than both serverless (%v) and VM (%v)",
+			auto.Latency, serverless.Latency, vmRun.Latency)
+	}
+	if !strings.Contains(res.String(), "Auto-planned") {
+		t.Errorf("rendering missing auto row:\n%s", res)
+	}
+}
+
+// TestAutoPlannedSortDetailCarriesDecision: the sort stage publishes
+// the planner's summary through the run state detail.
+func TestAutoPlannedSortDetailCarriesDecision(t *testing.T) {
+	run, err := RunPipeline(calib.Paper(), AutoPlanned, 1e9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := run.AutoDecision
+	if dec == nil {
+		t.Fatal("no decision captured")
+	}
+	if dec.Chosen.Workers <= 0 {
+		t.Errorf("chosen candidate has no workers: %+v", dec.Chosen)
+	}
+	if _, ok := run.Report.Stage("sort"); !ok {
+		t.Error("no sort stage in report")
+	}
+}

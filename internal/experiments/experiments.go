@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/faaspipe/faaspipe/internal/autoplan"
 	"github.com/faaspipe/faaspipe/internal/bed"
 	"github.com/faaspipe/faaspipe/internal/calib"
 	"github.com/faaspipe/faaspipe/internal/cloud/payload"
@@ -43,6 +44,10 @@ const (
 	VMSupported
 	CacheSupported
 	CacheSupportedWarm
+	// AutoPlanned lets the cost-based planner (internal/autoplan) pick
+	// the exchange strategy and its configuration per job — the
+	// middleware self-configuring at runtime instead of being told.
+	AutoPlanned
 )
 
 func (k StrategyKind) String() string {
@@ -55,6 +60,8 @@ func (k StrategyKind) String() string {
 		return "Cache-supported"
 	case CacheSupportedWarm:
 		return "Cache-supported (warm)"
+	case AutoPlanned:
+		return "Auto-planned"
 	default:
 		return fmt.Sprintf("StrategyKind(%d)", int(k))
 	}
@@ -68,6 +75,9 @@ type PipelineRun struct {
 	Report  *core.RunReport
 	// FaasStats summarizes the platform's activation log for the run.
 	FaasStats faas.Stats
+	// AutoDecision is the planner's candidate table (AutoPlanned runs
+	// only).
+	AutoDecision *autoplan.Decision
 }
 
 // RunPipeline executes the METHCOMP pipeline once at full scale with
@@ -81,7 +91,10 @@ func RunPipeline(profile calib.Profile, kind StrategyKind, dataBytes int64, work
 	if err := genomics.RegisterFunctions(rig.Platform); err != nil {
 		return PipelineRun{}, err
 	}
-	var strategy core.ExchangeStrategy
+	var (
+		strategy core.ExchangeStrategy
+		auto     *core.AutoExchange
+	)
 	switch kind {
 	case PurelyServerless:
 		strategy = core.ObjectStorageExchange{}
@@ -91,14 +104,23 @@ func RunPipeline(profile calib.Profile, kind StrategyKind, dataBytes int64, work
 		strategy = rig.CacheStrategy(false)
 	case CacheSupportedWarm:
 		strategy = rig.CacheStrategy(true)
+	case AutoPlanned:
+		auto = rig.AutoStrategy(autoplan.Objective{})
+		strategy = auto
 	default:
 		return PipelineRun{}, fmt.Errorf("experiments: unknown strategy %d", kind)
+	}
+	sortParams := rig.SortParams("data", "sample.bed", "work", "sorted/", workers)
+	if kind == AutoPlanned {
+		// The seer sweeps worker counts itself; a pinned count would
+		// collapse its search to the caller's guess.
+		sortParams.Workers = 0
 	}
 	cfg := genomics.PipelineConfig{
 		InputBucket: "data", InputKey: "sample.bed",
 		WorkBucket:  "work",
 		Strategy:    strategy,
-		Sort:        rig.SortParams("data", "sample.bed", "work", "sorted/", workers),
+		Sort:        sortParams,
 		EncodeBps:   rig.Profile.EncodeBps,
 		EncodeRatio: rig.Profile.EncodeRatio,
 	}
@@ -131,13 +153,17 @@ func RunPipeline(profile calib.Profile, kind StrategyKind, dataBytes int64, work
 	if runErr != nil {
 		return PipelineRun{}, runErr
 	}
-	return PipelineRun{
+	run := PipelineRun{
 		Kind:      kind,
 		Latency:   rep.Latency(),
 		CostUSD:   rep.Cost.Total(),
 		Report:    rep,
 		FaasStats: faas.Summarize(rig.Platform.Activations()),
-	}, nil
+	}
+	if auto != nil {
+		run.AutoDecision = auto.LastDecision
+	}
+	return run, nil
 }
 
 // Table1Result reproduces Table 1.
@@ -175,16 +201,34 @@ func (r Table1Result) String() string {
 	fmt.Fprintf(&b, "%-22s %12s %10s %14s %12s\n",
 		"Configuration", "Latency (s)", "Cost ($)", "Paper lat (s)", "Paper ($)")
 	for _, row := range r.Rows {
-		pl, pc := PaperServerlessLatency, PaperServerlessCost
-		if row.Kind == VMSupported {
-			pl, pc = PaperVMLatency, PaperVMCost
+		switch row.Kind {
+		case PurelyServerless:
+			fmt.Fprintf(&b, "%-22s %12.2f %10.4f %14.2f %12.3f\n",
+				row.Kind, row.Latency.Seconds(), row.CostUSD,
+				PaperServerlessLatency, PaperServerlessCost)
+		case VMSupported:
+			fmt.Fprintf(&b, "%-22s %12.2f %10.4f %14.2f %12.3f\n",
+				row.Kind, row.Latency.Seconds(), row.CostUSD,
+				PaperVMLatency, PaperVMCost)
+		default:
+			// Configurations the paper did not measure have no
+			// published columns.
+			fmt.Fprintf(&b, "%-22s %12.2f %10.4f %14s %12s\n",
+				row.Kind, row.Latency.Seconds(), row.CostUSD, "-", "-")
 		}
-		fmt.Fprintf(&b, "%-22s %12.2f %10.4f %14.2f %12.3f\n",
-			row.Kind, row.Latency.Seconds(), row.CostUSD, pl, pc)
 	}
-	if len(r.Rows) == 2 {
+	var serverless, vmRun *PipelineRun
+	for i := range r.Rows {
+		switch r.Rows[i].Kind {
+		case PurelyServerless:
+			serverless = &r.Rows[i]
+		case VMSupported:
+			vmRun = &r.Rows[i]
+		}
+	}
+	if serverless != nil && vmRun != nil {
 		fmt.Fprintf(&b, "speedup (VM / serverless): %.2fx  (paper: %.2fx)\n",
-			r.Rows[1].Latency.Seconds()/r.Rows[0].Latency.Seconds(),
+			vmRun.Latency.Seconds()/serverless.Latency.Seconds(),
 			PaperVMLatency/PaperServerlessLatency)
 	}
 	return b.String()

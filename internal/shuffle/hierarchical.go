@@ -49,7 +49,11 @@ type HierResult struct {
 // once per operator before SortHierarchical. Split from NewOperator so
 // existing single-level deployments register nothing extra.
 func (op *Operator) EnableHierarchical() error {
-	return op.platform.Register(repartitionFn, repartitionHandler)
+	if err := op.platform.Register(repartitionFn, repartitionHandler); err != nil {
+		return err
+	}
+	op.hierarchical = true
+	return nil
 }
 
 // autoGroups picks the divisor of w nearest sqrt(w). Primes degrade to

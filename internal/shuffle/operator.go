@@ -30,10 +30,16 @@ const (
 // operator registers its map/reduce functions on a platform once and
 // can then run any number of jobs.
 type Operator struct {
-	platform *faas.Platform
-	store    *objectstore.Service
-	seq      int
+	platform     *faas.Platform
+	store        *objectstore.Service
+	seq          int
+	hierarchical bool
 }
+
+// HierarchicalEnabled reports whether EnableHierarchical registered
+// the two-level shuffle's functions — the auto-planner only enumerates
+// hierarchical candidates when it did.
+func (op *Operator) HierarchicalEnabled() bool { return op.hierarchical }
 
 // NewOperator registers the shuffle functions on the platform.
 func NewOperator(platform *faas.Platform, store *objectstore.Service) (*Operator, error) {

@@ -11,6 +11,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/faaspipe/faaspipe/internal/des"
@@ -79,6 +80,22 @@ func NewProvisionerWithCatalog(sim *des.Sim, types []InstanceType) *Provisioner 
 		cat[it.Name] = it
 	}
 	return &Provisioner{sim: sim, catalog: cat}
+}
+
+// Types returns the provisioner's catalog, sorted by memory then name
+// so enumeration (the auto-planner sweeps it) is deterministic.
+func (pr *Provisioner) Types() []InstanceType {
+	out := make([]InstanceType, 0, len(pr.catalog))
+	for _, it := range pr.catalog {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MemoryGB != out[j].MemoryGB {
+			return out[i].MemoryGB < out[j].MemoryGB
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }
 
 // LookupType returns the catalog entry for name.
