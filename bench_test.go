@@ -69,6 +69,26 @@ func BenchmarkThreeWayExchange(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiJobSession exercises the session runtime's
+// amortization claim: N cache-exchanged jobs sharing one standing warm
+// cluster against the same jobs in independent sessions. The shared
+// total must come in under the independent one — one spin-up window
+// billed instead of N.
+func BenchmarkMultiJobSession(b *testing.B) {
+	profile := calib.Paper()
+	var res experiments.MultiJobResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MultiJob(profile, experiments.PaperDataBytes, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.SharedTotalUSD, "shared-usd")
+	b.ReportMetric(res.IndependentTotalUSD, "independent-usd")
+	b.ReportMetric(res.SharedTotalTime.Seconds(), "shared-virtual-s")
+}
+
 // BenchmarkShuffleWorkerSweep regenerates the worker-count sweep
 // behind Figure 1 / the §2.2 claim: shuffle latency is U-shaped in
 // the number of functions.

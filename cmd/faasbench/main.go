@@ -15,12 +15,17 @@
 //	faasbench -experiment costs [-data 3.5] [-workers 8]
 //	faasbench -experiment planner
 //	faasbench -experiment autoplan [-data 3.5]
+//	faasbench -experiment multijob [-data 3.5] [-jobs 3]
 //	faasbench -experiment all
 //	faasbench -auto [-data 3.5]
 //
 // The -auto flag engages the cost-based strategy planner: it prints
 // the candidate decision table (strategy/config -> predicted time and
 // cost -> chosen) and adds the auto-planned row to table1.
+//
+// The multijob experiment exercises the session runtime: N submissions
+// sharing one warm cache cluster against the same N jobs in
+// independent sessions, with standing-cost attribution.
 package main
 
 import (
@@ -36,21 +41,22 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "table1",
-			"one of: table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, autoplan, all")
+			"one of: table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, autoplan, multijob, all")
 		dataGB  = flag.Float64("data", 3.5, "dataset size in GB")
 		workers = flag.Int("workers", 8, "parallelism degree")
+		jobs    = flag.Int("jobs", 3, "submission count for the multijob experiment")
 		trace   = flag.Bool("trace", false, "print per-stage timelines (table1)")
 		auto    = flag.Bool("auto", false,
 			"engage the auto-planner: print its decision table and add the auto-planned row to table1")
 	)
 	flag.Parse()
-	if err := run(*experiment, *dataGB, *workers, *trace, *auto); err != nil {
+	if err := run(*experiment, *dataGB, *workers, *jobs, *trace, *auto); err != nil {
 		fmt.Fprintln(os.Stderr, "faasbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, dataGB float64, workers int, trace, auto bool) error {
+func run(experiment string, dataGB float64, workers, jobs int, trace, auto bool) error {
 	profile := calib.Paper()
 	dataBytes := int64(dataGB * 1e9)
 
@@ -182,6 +188,14 @@ func run(experiment string, dataGB float64, workers int, trace, auto bool) error
 		fmt.Println(res)
 		return nil
 	}
+	multijob := func() error {
+		res, err := experiments.MultiJob(profile, dataBytes, jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	}
 
 	switch experiment {
 	case "table1":
@@ -208,13 +222,15 @@ func run(experiment string, dataGB float64, workers int, trace, auto bool) error
 		return planner()
 	case "autoplan":
 		return autoplanFn()
+	case "multijob":
+		return multijob()
 	case "all":
 		// The trailing autoplan step is the decision table only: table1
 		// already ran the measured rows (with -auto it runs the full
 		// autoplan experiment, decision table included), so re-running
 		// Table1Auto here would re-simulate the most expensive part of
 		// the sweep.
-		steps := []func() error{table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner}
+		steps := []func() error{table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, multijob}
 		if !auto {
 			steps = append(steps, decide)
 		}

@@ -16,6 +16,8 @@ import (
 	"github.com/faaspipe/faaspipe/internal/autoplan"
 	"github.com/faaspipe/faaspipe/internal/calib"
 	"github.com/faaspipe/faaspipe/internal/experiments"
+	"github.com/faaspipe/faaspipe/internal/pipeline"
+	"github.com/faaspipe/faaspipe/internal/session"
 )
 
 func main() {
@@ -59,6 +61,41 @@ func run() error {
 		if row.Kind == experiments.AutoPlanned && row.AutoDecision != nil {
 			fmt.Println(row.AutoDecision.Summary())
 		}
+	}
+
+	// The seer also learns: inside a session, each run's measured time
+	// and cost are recorded against the plan's prediction, and the next
+	// Submit's decision is calibrated by those ratios. Submit the same
+	// declarative v2 document twice and watch the history accumulate.
+	doc, err := pipeline.Load([]byte(`{
+	  "version": 2,
+	  "name": "auto-from-json",
+	  "input": {"bucket": "data", "key": "sample.bed"},
+	  "workBucket": "work",
+	  "stages": [
+	    {"name": "sort", "type": "shuffle", "strategy": "auto", "objective": "min-cost"},
+	    {"name": "encode", "type": "map", "function": "methcomp/encode", "dependsOn": ["sort"]}
+	  ]
+	}`))
+	if err != nil {
+		return err
+	}
+	sess, err := session.Open(profile, session.Options{})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		rep, err := sess.Submit(doc.Job(pipeline.JobConfig{DataBytes: experiments.PaperDataBytes}))
+		if err != nil {
+			return err
+		}
+		if sr, ok := rep.Stage("sort"); ok {
+			fmt.Printf("submit %d: %s\n", i+1, sr.Detail)
+		}
+	}
+	fmt.Print(sess.History())
+	if _, err := sess.Close(); err != nil {
+		return err
 	}
 	return nil
 }

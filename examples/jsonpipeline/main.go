@@ -1,30 +1,33 @@
-// Jsonpipeline: the declarative interface of §2.4 — a workflow
-// defined entirely in a JSON document, loaded, validated, bound to the
-// simulated cloud and executed with the live tracker.
+// Jsonpipeline: the declarative interface of §2.4 in its schema-v2
+// form — a workflow defined entirely in a JSON document, with the
+// exchange strategy left to the cost-based planner ("strategy": "auto",
+// here optimizing "min-cost"), loaded, validated, and executed through
+// the session runtime. After the run, the DAG rendering shows which
+// family the planner committed to ("auto → ..."), and the run report
+// carries the full decision trace. Pass a file path as the first
+// argument to load a document from disk instead (v1 documents still
+// load unchanged).
 package main
 
 import (
 	"fmt"
 	"os"
 
-	"github.com/faaspipe/faaspipe/internal/bed"
 	"github.com/faaspipe/faaspipe/internal/calib"
-	"github.com/faaspipe/faaspipe/internal/cloud/payload"
-	"github.com/faaspipe/faaspipe/internal/des"
-	"github.com/faaspipe/faaspipe/internal/genomics"
-	"github.com/faaspipe/faaspipe/internal/objectstore"
+	"github.com/faaspipe/faaspipe/internal/core"
 	"github.com/faaspipe/faaspipe/internal/pipeline"
 	"github.com/faaspipe/faaspipe/internal/progress"
+	"github.com/faaspipe/faaspipe/internal/session"
 )
 
-// workflowJSON is the declarative pipeline definition; pass a file
-// path as the first argument to load one from disk instead.
+// workflowJSON is the declarative pipeline definition.
 const workflowJSON = `{
+  "version": 2,
   "name": "methcomp-from-json",
   "input": {"bucket": "data", "key": "sample.bed"},
   "workBucket": "work",
   "stages": [
-    {"name": "sort", "type": "shuffle", "strategy": "object-storage", "workers": 4},
+    {"name": "sort", "type": "shuffle", "strategy": "auto", "objective": "min-cost"},
     {"name": "encode", "type": "map", "function": "methcomp/encode", "dependsOn": ["sort"]}
   ]
 }`
@@ -50,51 +53,25 @@ func run(args []string) error {
 		return err
 	}
 
-	rig, err := calib.NewRig(calib.Local())
-	if err != nil {
-		return err
-	}
-	if err := genomics.RegisterFunctions(rig.Platform); err != nil {
-		return err
-	}
-	rig.Exec.AddListener(progress.NewTracker(os.Stdout))
-
-	w, err := doc.Build(pipeline.BuildOptions{
-		Rig: rig,
-		MapInputs: map[string]pipeline.MapInputBuilder{
-			"encode": func(objKey string, i int) any {
-				return &genomics.EncodeTask{
-					Bucket: doc.WorkBucket, Key: objKey,
-					OutBucket: doc.WorkBucket,
-					OutKey:    fmt.Sprintf("compressed/part-%04d.mcz", i),
-					EncodeBps: rig.Profile.EncodeBps, SizedRatio: rig.Profile.EncodeRatio,
-				}
-			},
-		},
+	sess, err := session.Open(calib.Local(), session.Options{
+		Listeners: []core.Listener{progress.NewTracker(os.Stdout)},
 	})
 	if err != nil {
 		return err
 	}
-
-	recs := bed.Generate(bed.GenConfig{Records: 10000, Seed: 11, Sorted: false})
-	var runErr error
-	rig.Sim.Spawn("driver", func(p *des.Proc) {
-		c := objectstore.NewClient(rig.Store)
-		for _, b := range []string{doc.Input.Bucket, doc.WorkBucket} {
-			if err := c.CreateBucket(p, b); err != nil {
-				runErr = err
-				return
-			}
-		}
-		if err := c.Put(p, doc.Input.Bucket, doc.Input.Key,
-			payload.RealNoCopy(bed.Marshal(recs))); err != nil {
-			runErr = err
-			return
-		}
-		_, runErr = rig.Exec.Run(p, w)
-	})
-	if err := rig.Sim.Run(); err != nil {
+	rep, err := sess.Submit(doc.Job(pipeline.JobConfig{
+		Records:    10000,
+		Seed:       11,
+		DescribeTo: os.Stdout,
+	}))
+	if err != nil {
 		return err
 	}
-	return runErr
+	if sr, ok := rep.Stage("sort"); ok {
+		fmt.Printf("\nsort stage: %s\n", sr.Detail)
+	}
+	if _, err := sess.Close(); err != nil {
+		return err
+	}
+	return nil
 }

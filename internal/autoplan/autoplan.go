@@ -141,6 +141,11 @@ type Env struct {
 	CacheWarm bool
 	// CacheHeadroom oversizes auto-sized clusters (default 1.3).
 	CacheHeadroom float64
+	// CacheStandingNodes, when positive, says a session-owned cluster
+	// of that size is already running and already paid for: the cache
+	// family uses it (no spin-up, no node-hours in the marginal cost)
+	// and volumes beyond its capacity are infeasible.
+	CacheStandingNodes int
 
 	// VMTypes is the instance catalog; empty disables the VM family.
 	VMTypes []vm.InstanceType
@@ -154,6 +159,16 @@ type Env struct {
 	VMSortBps float64
 	// VMConns is the staging connection count (0: one per vCPU).
 	VMConns int
+	// VMStandingType, when non-empty, names a session-owned instance
+	// that is already booted and already paid for: the VM family
+	// considers only that catalog entry, with no boot/setup latency and
+	// no instance-hours in the marginal cost.
+	VMStandingType string
+
+	// History, when set, supplies measured actual/predicted calibration
+	// factors per family; every prediction is scaled by them before the
+	// objective is evaluated. See History.
+	History *History
 }
 
 // Candidate is one enumerated plan with its prediction.
@@ -168,10 +183,16 @@ type Candidate struct {
 	CacheNodes int
 	// Instance is the VM catalog entry ("" otherwise).
 	Instance string
-	// Time is the predicted virtual completion time.
+	// Time is the predicted virtual completion time (calibrated by
+	// Env.History when one is set).
 	Time time.Duration
-	// CostUSD is the predicted spend.
+	// CostUSD is the predicted spend (calibrated likewise).
 	CostUSD float64
+	// ModelTime / ModelUSD are the raw analytic predictions before any
+	// history calibration — what new observations must be recorded
+	// against, or corrections would decay toward 1.
+	ModelTime time.Duration
+	ModelUSD  float64
 	// Feasible reports whether the candidate can run at all; Reason
 	// says why not.
 	Feasible bool
@@ -332,7 +353,9 @@ func Plan(w Workload, env Env, obj Objective) (Decision, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			cands[i] = specs[i].evaluate(w, env)
+			c := specs[i].evaluate(w, env)
+			c.ModelTime, c.ModelUSD = c.Time, c.CostUSD
+			cands[i] = env.History.calibrate(c)
 		}(i)
 	}
 	wg.Wait()
@@ -399,8 +422,15 @@ func enumerate(w Workload, env Env) []candidateSpec {
 				"memory floor %d workers above cap %d", minW, w.MaxWorkers))
 		}
 	}
+	// A session's standing instance overrides the profile's pinned
+	// type: the already-paid machine is the one to consider, whatever
+	// the profile would have provisioned.
+	vmPin := env.VMInstanceType
+	if env.VMStandingType != "" {
+		vmPin = env.VMStandingType
+	}
 	for _, it := range env.VMTypes {
-		if env.VMInstanceType != "" && it.Name != env.VMInstanceType {
+		if vmPin != "" && it.Name != vmPin {
 			continue
 		}
 		specs = append(specs, candidateSpec{strategy: VMStaged, workers: w.OutputParts, instance: it})

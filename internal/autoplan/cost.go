@@ -104,7 +104,19 @@ func predictHierarchical(w int, wl Workload, env Env) Candidate {
 func predictCache(w int, wl Workload, env Env) Candidate {
 	nodes := memcache.NodesForCapacity(env.Cache, wl.DataBytes, env.CacheHeadroom)
 	c := Candidate{Strategy: CacheBacked, Workers: w, CacheNodes: nodes}
-	if env.CacheMaxNodes > 0 && nodes > env.CacheMaxNodes {
+	if env.CacheStandingNodes > 0 {
+		// A session-owned cluster is already running: the job must fit
+		// in it, uses its actual size, and pays no node-hours. The
+		// CacheMaxNodes quota caps what the planner may provision, so
+		// it does not apply — nothing is being provisioned.
+		if nodes > env.CacheStandingNodes {
+			c.Reason = fmt.Sprintf("needs %d nodes, standing cluster has %d",
+				nodes, env.CacheStandingNodes)
+			return c
+		}
+		nodes = env.CacheStandingNodes
+		c.CacheNodes = nodes
+	} else if env.CacheMaxNodes > 0 && nodes > env.CacheMaxNodes {
 		c.Reason = fmt.Sprintf("needs %d nodes, quota %d", nodes, env.CacheMaxNodes)
 		return c
 	}
@@ -141,15 +153,21 @@ func predictCache(w int, wl Workload, env Env) Candidate {
 		perWorker/wl.MergeBps
 
 	provision := env.Cache.ProvisionTime
-	if env.CacheWarm {
+	if env.CacheWarm || env.CacheStandingNodes > 0 {
 		provision = 0
 	}
 	exchange := env.FunctionStartup.Seconds() + p1 + p2
 	c.Time = provision + time.Duration(exchange*float64(time.Second))
 
-	clusterHours := (provision.Seconds() + exchange) / 3600
+	nodeHoursUSD := float64(nodes) * env.Cache.NodeHourlyUSD *
+		(provision.Seconds() + exchange) / 3600
+	if env.CacheStandingNodes > 0 {
+		// The session already pays the standing cluster's node-hours;
+		// the job's marginal cost excludes them.
+		nodeHoursUSD = 0
+	}
 	c.CostUSD = functionUSD(env, w, p1+p2, 2*w) +
-		float64(nodes)*env.Cache.NodeHourlyUSD*clusterHours +
+		nodeHoursUSD +
 		storageUSD(env, int64(w), 2+int64(w), 2*wl.DataBytes, c.Time)
 	c.Feasible = true
 	return c
@@ -180,12 +198,23 @@ func predictVM(it vm.InstanceType, wl Workload, env Env) Candidate {
 	stageIn := d/rate + lat
 	sortT := d / env.VMSortBps
 	stageOut := d/rate + lat
-	total := it.BootTime.Seconds() + env.VMSetup.Seconds() + stageIn + sortT + stageOut
+	standing := env.VMStandingType != "" && it.Name == env.VMStandingType
+	bootSetup := it.BootTime.Seconds() + env.VMSetup.Seconds()
+	if standing {
+		// A session-owned instance is already booted and deployed.
+		bootSetup = 0
+	}
+	total := bootSetup + stageIn + sortT + stageOut
 	c.Time = time.Duration(total * float64(time.Second))
 
 	hours := total / 3600
 	instUSD := it.HourlyUSD*hours +
 		float64(it.MemoryGB)*env.Prices.StorageGBMonth*hours/(30*24)
+	if standing {
+		// The session already pays the instance-hours; the job's
+		// marginal cost excludes them.
+		instUSD = 0
+	}
 	c.CostUSD = instUSD +
 		storageUSD(env, int64(wl.OutputParts), int64(conns)+1, 2*wl.DataBytes, c.Time)
 	c.Feasible = true

@@ -25,6 +25,19 @@ type Rig struct {
 	Shuffle   *shuffle.Operator
 	CacheOp   *shuffle.CacheOperator
 	Exec      *core.Executor
+
+	// History accumulates measured predicted-vs-actual outcomes for the
+	// auto-planner. NewRig starts it empty; a Session keeps the rig —
+	// and with it this history — alive across submissions, so every
+	// plan after the first is calibrated by what actually happened.
+	History *autoplan.History
+
+	// StandingCache / StandingVM are session-owned standing resources;
+	// strategies built from this rig exchange through them and the
+	// session attributes their cost. Set via SetStandingCache /
+	// SetStandingVM.
+	StandingCache *memcache.Cluster
+	StandingVM    *vm.Instance
 }
 
 // NewRig builds the simulated cloud for a profile.
@@ -62,6 +75,8 @@ func NewRig(p Profile) (*Rig, error) {
 	exec := core.NewExecutor(sim, store, platform, prov, op, p.Prices)
 	exec.CacheProv = cacheProv
 	exec.CacheShuffle = cacheOp
+	history := autoplan.NewHistory()
+	exec.History = history
 	return &Rig{
 		Profile:   p,
 		Sim:       sim,
@@ -72,7 +87,24 @@ func NewRig(p Profile) (*Rig, error) {
 		Shuffle:   op,
 		CacheOp:   cacheOp,
 		Exec:      exec,
+		History:   history,
 	}, nil
+}
+
+// SetStandingCache registers a session-owned running cluster: cache
+// strategies built from this rig afterwards exchange through it, and
+// the executor excludes its accrual from per-stage cost deltas (the
+// session attributes it via RunReport.StandingUSD).
+func (r *Rig) SetStandingCache(c *memcache.Cluster) {
+	r.StandingCache = c
+	r.Exec.StandingCache = c
+}
+
+// SetStandingVM registers a session-owned running instance, the VM
+// counterpart of SetStandingCache.
+func (r *Rig) SetStandingVM(i *vm.Instance) {
+	r.StandingVM = i
+	r.Exec.StandingVM = i
 }
 
 // SortParams derives the standard sort-stage parameters for this
@@ -93,34 +125,42 @@ func (r *Rig) SortParams(inBucket, inKey, outBucket, outPrefix string, workers i
 	}
 }
 
-// VMStrategy builds the profile's VM exchange strategy.
+// VMStrategy builds the profile's VM exchange strategy. A standing
+// instance registered on the rig is carried along: the sort stages
+// through it instead of provisioning.
 func (r *Rig) VMStrategy() *core.VMExchange {
 	return &core.VMExchange{
 		InstanceType: r.Profile.InstanceType,
 		Setup:        r.Profile.VMSetup,
 		SortBps:      r.Profile.VMSortBps,
 		Conns:        r.Profile.VMConns,
+		Instance:     r.StandingVM,
 	}
 }
 
 // CacheStrategy builds the profile's cache exchange strategy. warm
-// models a pre-provisioned cluster (no spin-up latency).
+// models a pre-provisioned cluster (no spin-up latency). A standing
+// cluster registered on the rig is carried along and takes precedence
+// over per-job provisioning.
 func (r *Rig) CacheStrategy(warm bool) *core.CacheExchange {
 	return &core.CacheExchange{
-		Nodes: r.Profile.CacheNodes,
-		Warm:  warm,
+		Nodes:   r.Profile.CacheNodes,
+		Warm:    warm,
+		Cluster: r.StandingCache,
 	}
 }
 
 // AutoStrategy builds the profile's planner-backed strategy: the
 // cost-based seer that picks exchange family and configuration per
-// job. The zero objective minimizes predicted completion time.
+// job, calibrated by the rig's measured history. The zero objective
+// minimizes predicted completion time.
 func (r *Rig) AutoStrategy(obj autoplan.Objective) *core.AutoExchange {
 	return &core.AutoExchange{
 		Objective:     obj,
 		VM:            *r.VMStrategy(),
 		Cache:         *r.CacheStrategy(false),
 		CacheMaxNodes: r.Profile.CacheMaxNodes,
+		History:       r.History,
 	}
 }
 

@@ -62,6 +62,11 @@ type AutoExchange struct {
 	// CacheMaxNodes caps the cluster the planner may provision
 	// (0: no quota).
 	CacheMaxNodes int
+	// History, when set, calibrates predictions with measured outcomes
+	// and receives this stage's predicted-vs-actual observation after
+	// each run. When nil, the executor's History (shared by a session
+	// across submissions) is used instead.
+	History *autoplan.History
 	// LastDecision is the most recent planner output (for reports; the
 	// simulation kernel runs one process at a time, so reads after the
 	// stage are safe).
@@ -89,6 +94,9 @@ func (a *AutoExchange) planEnv(exec *Executor) autoplan.Env {
 		env.CacheMaxNodes = a.CacheMaxNodes
 		env.CacheWarm = a.Cache.Warm
 		env.CacheHeadroom = a.Cache.Headroom
+		if a.Cache.Cluster != nil && !a.Cache.Cluster.Stopped() {
+			env.CacheStandingNodes = a.Cache.Cluster.Nodes()
+		}
 	}
 	if exec.Provisioner != nil {
 		env.VMTypes = exec.Provisioner.Types()
@@ -96,6 +104,13 @@ func (a *AutoExchange) planEnv(exec *Executor) autoplan.Env {
 		env.VMSetup = a.VM.Setup
 		env.VMSortBps = a.VM.SortBps
 		env.VMConns = a.VM.Conns
+		if a.VM.Instance != nil && !a.VM.Instance.Stopped() {
+			env.VMStandingType = a.VM.Instance.Type().Name
+		}
+	}
+	env.History = a.History
+	if env.History == nil {
+		env.History = exec.History
 	}
 	return env
 }
@@ -165,9 +180,42 @@ func (a *AutoExchange) RunSort(ctx *StageContext, params SortParams) (SortOutcom
 	}
 	a.LastDecision = &dec
 
+	// Meter the dispatched run so the measured outcome can calibrate
+	// the next plan (the same snapshot arithmetic the executor uses for
+	// stage reports, scoped to this sort alone).
+	startAt := ctx.Proc.Now()
+	startsBefore := ctx.Exec.stageStarts
+	activeBefore := ctx.Exec.stagesActive
+	fBefore := ctx.Exec.Platform.Meter()
+	sBefore := ctx.Exec.Store.Metrics()
+	vBefore := ctx.Exec.vmCostSnapshot()
+	cBefore := ctx.Exec.cacheCostSnapshot()
+
 	outcome, err := a.dispatch(ctx, params, dec.Chosen)
 	if err != nil {
 		return outcome, err
+	}
+
+	if hist := env.History; hist != nil {
+		// The cost snapshots are executor-global: if another stage ran
+		// during our window, its spend is in the deltas and would
+		// corrupt the calibration. Record only the time observation
+		// then (the elapsed virtual time is ours either way).
+		var predictedUSD, actualUSD float64
+		if ctx.Exec.stageStarts == startsBefore && activeBefore <= 1 {
+			predictedUSD = dec.Chosen.ModelUSD
+			actualUSD = ctx.Exec.Prices.FunctionsCost(ctx.Exec.Platform.Meter().Sub(fBefore)) +
+				ctx.Exec.Prices.StorageCost(ctx.Exec.Store.Metrics().Sub(sBefore)) +
+				(ctx.Exec.vmCostSnapshot() - vBefore) +
+				(ctx.Exec.cacheCostSnapshot() - cBefore)
+		}
+		hist.Record(autoplan.Observation{
+			Strategy:      dec.Chosen.Strategy,
+			PredictedTime: dec.Chosen.ModelTime,
+			ActualTime:    ctx.Proc.Now() - startAt,
+			PredictedUSD:  predictedUSD,
+			ActualUSD:     actualUSD,
+		})
 	}
 	outcome.Detail = dec.Summary() + "; " + outcome.Detail
 	return outcome, nil
@@ -208,7 +256,7 @@ func (a *AutoExchange) dispatch(ctx *StageContext, params SortParams, c autoplan
 // strategyForCode builds the stage-level default strategy for a sort
 // whose SortStage.Strategy is nil: the planner, possibly restricted to
 // one forced family.
-func strategyForCode(code StrategyCode) (ExchangeStrategy, error) {
+func strategyForCode(code StrategyCode) (*AutoExchange, error) {
 	allow, err := code.allowed()
 	if err != nil {
 		return nil, err

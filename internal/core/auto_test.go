@@ -27,9 +27,9 @@ func TestSortStageNilStrategyAutoPlans(t *testing.T) {
 		t.Fatalf("Add: %v", err)
 	}
 	if err := w.Add(&FuncStage{StageName: "inspect", Fn: func(ctx *StageContext) error {
-		v, _ := ctx.State.Get("sort.detail")
-		detail, _ = v.(string)
-		return nil
+		var err error
+		detail, err = ctx.State.String("sort.detail")
+		return err
 	}}, "sort"); err != nil {
 		t.Fatalf("Add inspect: %v", err)
 	}

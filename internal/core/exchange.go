@@ -8,7 +8,9 @@ import (
 	"github.com/faaspipe/faaspipe/internal/bed"
 	"github.com/faaspipe/faaspipe/internal/cloud/payload"
 	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/memcache"
 	"github.com/faaspipe/faaspipe/internal/shuffle"
+	"github.com/faaspipe/faaspipe/internal/vm"
 )
 
 // SortParams configure a sort stage, independent of strategy.
@@ -138,6 +140,12 @@ type CacheExchange struct {
 	// Warm skips the cluster spin-up latency, modeling a pre-provisioned
 	// long-lived cluster (the latency-favorable ablation).
 	Warm bool
+	// Cluster, when set, is a session-owned standing cluster: the
+	// exchange flows through it instead of provisioning a per-job one,
+	// the cluster is left running afterwards, and its node-hours are
+	// attributed by the session rather than to this stage. Nodes,
+	// Headroom, and Warm are ignored.
+	Cluster *memcache.Cluster
 }
 
 var _ ExchangeStrategy = (*CacheExchange)(nil)
@@ -160,12 +168,17 @@ func (c *CacheExchange) RunSort(ctx *StageContext, params SortParams) (SortOutco
 		Nodes:    c.Nodes,
 		Headroom: c.Headroom,
 		Warm:     c.Warm,
+		Cluster:  c.Cluster,
 	})
 	if err != nil {
 		return SortOutcome{}, err
 	}
-	detail := fmt.Sprintf("shuffle via %d-node cache: %d workers, provision %v, phase1 %v, phase2 %v",
-		res.Nodes, res.Workers, res.Provision.Round(time.Millisecond),
+	via := "cache"
+	if c.Cluster != nil {
+		via = "standing cache"
+	}
+	detail := fmt.Sprintf("shuffle via %d-node %s: %d workers, provision %v, phase1 %v, phase2 %v",
+		res.Nodes, via, res.Workers, res.Provision.Round(time.Millisecond),
 		res.Phase1.Round(time.Millisecond), res.Phase2.Round(time.Millisecond))
 	return SortOutcome{OutputKeys: res.OutputKeys, Workers: res.Workers, Detail: detail}, nil
 }
@@ -185,6 +198,12 @@ type VMExchange struct {
 	// Conns is the number of parallel storage connections used for
 	// staging (bounded by vCPUs when zero).
 	Conns int
+	// Instance, when set, is a session-owned running instance: the sort
+	// stages through it instead of provisioning (no boot, no Setup),
+	// the instance is left running afterwards, and its instance-hours
+	// are attributed by the session rather than to this stage.
+	// InstanceType is ignored.
+	Instance *vm.Instance
 }
 
 var _ ExchangeStrategy = (*VMExchange)(nil)
@@ -201,13 +220,23 @@ func (v *VMExchange) RunSort(ctx *StageContext, params SortParams) (SortOutcome,
 		return SortOutcome{}, errors.New("core: VM exchange needs an explicit Workers count")
 	}
 	p := ctx.Proc
-	inst, err := ctx.Exec.Provisioner.Provision(p, v.InstanceType)
-	if err != nil {
-		return SortOutcome{}, err
-	}
-	defer inst.Stop()
-	if v.Setup > 0 {
-		p.Sleep(v.Setup)
+	var inst *vm.Instance
+	standing := v.Instance != nil
+	if standing {
+		if v.Instance.Stopped() {
+			return SortOutcome{}, errors.New("vm exchange: standing instance is stopped")
+		}
+		inst = v.Instance
+	} else {
+		var err error
+		inst, err = ctx.Exec.Provisioner.Provision(p, v.InstanceType)
+		if err != nil {
+			return SortOutcome{}, err
+		}
+		defer inst.Stop()
+		if v.Setup > 0 {
+			p.Sleep(v.Setup)
+		}
 	}
 
 	conns := v.Conns
@@ -262,9 +291,14 @@ func (v *VMExchange) RunSort(ctx *StageContext, params SortParams) (SortOutcome,
 	if err := parallelPut(p, client, params.OutputBucket, keys, outParts, conns); err != nil {
 		return SortOutcome{}, err
 	}
-	inst.Stop()
-	detail := fmt.Sprintf("sort inside %s: boot+setup then %d-way staged I/O over %d conns",
-		inst.Type().Name, params.Workers, conns)
+	boot := "boot+setup then"
+	if standing {
+		boot = "standing instance,"
+	} else {
+		inst.Stop()
+	}
+	detail := fmt.Sprintf("sort inside %s: %s %d-way staged I/O over %d conns",
+		inst.Type().Name, boot, params.Workers, conns)
 	return SortOutcome{OutputKeys: keys, Workers: params.Workers, Detail: detail}, nil
 }
 

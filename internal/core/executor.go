@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/faaspipe/faaspipe/internal/autoplan"
 	"github.com/faaspipe/faaspipe/internal/billing"
 	"github.com/faaspipe/faaspipe/internal/des"
 	"github.com/faaspipe/faaspipe/internal/faas"
@@ -35,6 +36,10 @@ type StageReport struct {
 	VMUSD    float64
 	CacheUSD float64
 	Cost     billing.Report
+	// Detail is the stage's human-readable summary when it published
+	// one to run state ("<name>.detail") — for sort stages the exchange
+	// trace, including the auto-planner's chosen strategy.
+	Detail string
 }
 
 // Duration is the stage's wall-clock (virtual) time.
@@ -47,10 +52,21 @@ type RunReport struct {
 	End      time.Duration
 	Stages   []StageReport
 	Cost     billing.Report
+	// StandingUSD is the session-owned standing-resource spend (warm
+	// cache cluster, running VM) attributed to this run by the session
+	// runtime: spin-up and idle accrual since the previous submission
+	// plus accrual while this run executed. Zero outside a session or
+	// when the session owns nothing. Cost excludes it; TotalUSD is the
+	// sum.
+	StandingUSD float64
 }
 
 // Latency is the end-to-end run time.
 func (r *RunReport) Latency() time.Duration { return r.End - r.Start }
+
+// TotalUSD is the run's full attributed spend: metered stage costs
+// plus the session standing-resource share.
+func (r *RunReport) TotalUSD() float64 { return r.Cost.Total() + r.StandingUSD }
 
 // Stage returns the report for the named stage.
 func (r *RunReport) Stage(name string) (StageReport, bool) {
@@ -76,7 +92,27 @@ type Executor struct {
 	CacheProv    *memcache.Provisioner
 	CacheShuffle *shuffle.CacheOperator
 
+	// History, when set, is consulted and updated by planner-backed
+	// (auto) sort stages: each run's measured time and cost calibrate
+	// the next plan. A session shares one history across submissions.
+	History *autoplan.History
+
+	// StandingCache / StandingVM are session-owned standing resources.
+	// Their accrual is excluded from per-stage VM/cache cost deltas —
+	// the session attributes it via RunReport.StandingUSD instead of
+	// billing whichever stage happened to be running.
+	StandingCache *memcache.Cluster
+	StandingVM    *vm.Instance
+
 	listeners []Listener
+
+	// stageStarts / stagesActive track stage concurrency within a run,
+	// so strategies metering their own spend with global snapshot
+	// deltas (AutoExchange) can tell when another stage's activity
+	// polluted their window. Only touched from simulation process
+	// context.
+	stageStarts  int64
+	stagesActive int
 }
 
 // NewExecutor wires an executor; shuffleOp may be nil if no stage
@@ -100,21 +136,31 @@ func (e *Executor) AddListener(l Listener) {
 	}
 }
 
-// vmCostSnapshot totals the accumulated cost of all instances; the
-// difference across a stage attributes VM spend to it.
+// vmCostSnapshot totals the accumulated cost of all instances except
+// the session-standing one; the difference across a stage attributes
+// VM spend to it.
 func (e *Executor) vmCostSnapshot() float64 {
 	if e.Provisioner == nil {
 		return 0
 	}
-	return e.Prices.VMCost(e.Provisioner.Instances())
+	total := e.Prices.VMCost(e.Provisioner.Instances())
+	if e.StandingVM != nil {
+		total -= e.Prices.VMCost([]*vm.Instance{e.StandingVM})
+	}
+	return total
 }
 
-// cacheCostSnapshot totals the accumulated cost of all cache clusters.
+// cacheCostSnapshot totals the accumulated cost of all cache clusters
+// except the session-standing one.
 func (e *Executor) cacheCostSnapshot() float64 {
 	if e.CacheProv == nil {
 		return 0
 	}
-	return e.Prices.CacheCost(e.CacheProv.Clusters())
+	total := e.Prices.CacheCost(e.CacheProv.Clusters())
+	if e.StandingCache != nil {
+		total -= e.Prices.CacheCost([]*memcache.Cluster{e.StandingCache})
+	}
+	return total
 }
 
 // Run executes the workflow, blocking p until every stage completes
@@ -158,7 +204,10 @@ func (e *Executor) Run(p *des.Proc, w *Workflow) (*RunReport, error) {
 			for _, l := range e.listeners {
 				l.StageStarted(w.Name(), n.stage.Name(), start)
 			}
+			e.stageStarts++
+			e.stagesActive++
 			err := n.stage.Run(&StageContext{Proc: sp, Exec: e, State: state})
+			e.stagesActive--
 			sr := StageReport{
 				Name:     n.stage.Name(),
 				Start:    start,
@@ -168,6 +217,9 @@ func (e *Executor) Run(p *des.Proc, w *Workflow) (*RunReport, error) {
 				Store:    e.Store.Metrics().Sub(sBefore),
 				VMUSD:    e.vmCostSnapshot() - vBefore,
 				CacheUSD: e.cacheCostSnapshot() - cBefore,
+			}
+			if detail, derr := state.String(n.stage.Name() + ".detail"); derr == nil {
+				sr.Detail = detail
 			}
 			sr.Cost.Add("functions", e.Prices.FunctionsCost(sr.Faas))
 			sr.Cost.Add("storage requests", e.Prices.StorageCost(sr.Store))

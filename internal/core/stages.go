@@ -20,6 +20,10 @@ type SortStage struct {
 	Strategy ExchangeStrategy
 	// Params configure the sort job.
 	Params SortParams
+
+	// resolved keeps the planner-backed strategy Run built for a nil
+	// Strategy, so Describe can render the plan it committed to.
+	resolved *AutoExchange
 }
 
 var _ Stage = (*SortStage)(nil)
@@ -32,14 +36,35 @@ func (s *SortStage) Name() string {
 	return s.StageName
 }
 
+// exchangeLabel is the Describe annotation: a concrete strategy's
+// name, "auto" for a planner-backed stage, and "auto → <picked>" once
+// a run has committed the planner to a family.
+func (s *SortStage) exchangeLabel() string {
+	var auto *AutoExchange
+	switch st := s.Strategy.(type) {
+	case nil:
+		auto = s.resolved // nil before the first run
+	case *AutoExchange:
+		auto = st
+	default:
+		return s.Strategy.Name()
+	}
+	if auto != nil && auto.LastDecision != nil {
+		return fmt.Sprintf("auto → %s", auto.LastDecision.Chosen.Strategy)
+	}
+	return "auto"
+}
+
 // Run implements Stage.
 func (s *SortStage) Run(ctx *StageContext) error {
 	strat := s.Strategy
 	if strat == nil {
-		var err error
-		if strat, err = strategyForCode(s.Params.Strategy); err != nil {
+		auto, err := strategyForCode(s.Params.Strategy)
+		if err != nil {
 			return err
 		}
+		s.resolved = auto
+		strat = auto
 	}
 	outcome, err := strat.RunSort(ctx, s.Params)
 	if err != nil {

@@ -70,6 +70,35 @@ func (s *RunState) Keys(key string) ([]string, error) {
 	return keys, nil
 }
 
+// Int returns the value under key as an int (a stage's published
+// worker count, part count, ...), failing with a typed error instead
+// of the raw assertion callers used to repeat.
+func (s *RunState) Int(key string) (int, error) {
+	v, ok := s.values[key]
+	if !ok {
+		return 0, fmt.Errorf("core: no state %q", key)
+	}
+	n, ok := v.(int)
+	if !ok {
+		return 0, fmt.Errorf("core: state %q is %T, want int", key, v)
+	}
+	return n, nil
+}
+
+// String returns the value under key as a string (a stage's published
+// detail line).
+func (s *RunState) String(key string) (string, error) {
+	v, ok := s.values[key]
+	if !ok {
+		return "", fmt.Errorf("core: no state %q", key)
+	}
+	str, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("core: state %q is %T, want string", key, v)
+	}
+	return str, nil
+}
+
 // Workflow is a DAG of named stages.
 type Workflow struct {
 	name  string
@@ -126,12 +155,12 @@ func (w *Workflow) Describe() string {
 	fmt.Fprintf(&b, "workflow %q:\n", w.name)
 	for _, n := range w.nodes {
 		fmt.Fprintf(&b, "  %s", n.stage.Name())
-		if s, ok := n.stage.(*SortStage); ok && s.Strategy != nil {
-			fmt.Fprintf(&b, " [exchange: %s]", s.Strategy.Name())
+		if s, ok := n.stage.(*SortStage); ok {
+			fmt.Fprintf(&b, " [exchange: %s]", s.exchangeLabel())
 		}
 		if r, ok := n.stage.(*RetryStage); ok {
-			if s, ok := r.Inner.(*SortStage); ok && s.Strategy != nil {
-				fmt.Fprintf(&b, " [exchange: %s, retried]", s.Strategy.Name())
+			if s, ok := r.Inner.(*SortStage); ok {
+				fmt.Fprintf(&b, " [exchange: %s, retried]", s.exchangeLabel())
 			} else {
 				fmt.Fprint(&b, " [retried]")
 			}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/faaspipe/faaspipe/internal/calib"
+)
+
+// TestMultiJobAmortization is the ROADMAP's multi-job acceptance: at
+// least two submissions sharing one warm cluster must come in strictly
+// below the same jobs in independent sessions, on cost and on total
+// latency (no per-job spin-up).
+func TestMultiJobAmortization(t *testing.T) {
+	res, err := MultiJob(calib.Paper(), 0, 2)
+	if err != nil {
+		t.Fatalf("MultiJob: %v", err)
+	}
+	if res.Jobs != 2 || len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, jobs = %d", len(res.Rows), res.Jobs)
+	}
+	if res.SharedTotalUSD >= res.IndependentTotalUSD {
+		t.Errorf("shared $%.4f not strictly below independent $%.4f",
+			res.SharedTotalUSD, res.IndependentTotalUSD)
+	}
+	if res.SharedTotalTime >= res.IndependentTotal {
+		t.Errorf("shared latency %v not below independent %v",
+			res.SharedTotalTime, res.IndependentTotal)
+	}
+	for _, row := range res.Rows {
+		// Every shared job dodges the cluster spin-up the independent
+		// one pays inside its sort stage.
+		if row.SharedLatency >= row.IndependentLatency {
+			t.Errorf("job %d: shared %v not faster than independent %v",
+				row.Job, row.SharedLatency, row.IndependentLatency)
+		}
+	}
+	out := res.String()
+	for _, want := range []string{"Multi-job amortization", "TOTAL", "saves"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

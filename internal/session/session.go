@@ -1,0 +1,307 @@
+// Package session is the multi-job runtime of the redesigned
+// execution API: one simulated cloud opened once, any number of
+// declarative documents or hand-built workflows submitted against it,
+// and a close report that accounts for everything the session spent.
+//
+// Where pipeline.Run provisions a fresh cloud per document, a Session
+// owns one rig across submissions, so resources amortize the way they
+// do for a long-lived middleware deployment (the ALTK/SAGAI-MID-style
+// stable runtime layer): a warm cache cluster or a running VM is paid
+// for once and shared by every job, with its standing cost attributed
+// to each RunReport instead of silently vanishing; and the
+// auto-planner's measured history carries from one Submit to the next,
+// so later plans are calibrated by earlier runs (closing the
+// PlannerRegret loop).
+//
+// Usage:
+//
+//	sess, err := session.Open(calib.Paper(), session.Options{WarmCacheNodes: 2})
+//	rep1, err := sess.Submit(doc.Job(pipeline.JobConfig{DataBytes: 3500e6}))
+//	rep2, err := sess.Submit(doc.Job(pipeline.JobConfig{DataBytes: 3500e6}))
+//	report, err := sess.Close()
+package session
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/autoplan"
+	"github.com/faaspipe/faaspipe/internal/calib"
+	"github.com/faaspipe/faaspipe/internal/core"
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/genomics"
+	"github.com/faaspipe/faaspipe/internal/memcache"
+	"github.com/faaspipe/faaspipe/internal/vm"
+)
+
+// Options configure what a session keeps running between submissions.
+type Options struct {
+	// Listeners observe every submission's run (progress trackers).
+	Listeners []core.Listener
+	// WarmCacheNodes, when positive, provisions a standing cache
+	// cluster of that many nodes at Open. Cache exchanges in every
+	// submission share it: no per-job spin-up, and its node-hours are
+	// attributed as standing cost instead of to individual stages.
+	WarmCacheNodes int
+	// StandingVMType, when non-empty, provisions a running instance of
+	// that catalog type at Open; VM exchanges stage through it instead
+	// of booting their own.
+	StandingVMType string
+}
+
+// Job is one unit of submission: how to bind a workflow to the
+// session's rig and how to stage its input data.
+type Job struct {
+	// Name labels the submission (defaults to the workflow name).
+	Name string
+	// Build binds the job to the session's rig; called once per Submit.
+	Build func(rig *calib.Rig) (*core.Workflow, error)
+	// Prepare, when set, runs in simulated process context before the
+	// workflow starts (bucket creation, dataset staging).
+	Prepare func(p *des.Proc, rig *calib.Rig) error
+	// DescribeTo, when set, receives the workflow's DAG rendering
+	// before the run starts.
+	DescribeTo io.Writer
+}
+
+// WorkflowJob wraps an already-built workflow as a Job. prepare may be
+// nil when the session's store already holds the input.
+func WorkflowJob(w *core.Workflow, prepare func(p *des.Proc, rig *calib.Rig) error) Job {
+	return Job{
+		Name:    w.Name(),
+		Build:   func(*calib.Rig) (*core.Workflow, error) { return w, nil },
+		Prepare: prepare,
+	}
+}
+
+// Session is an open multi-job runtime. Not safe for concurrent use;
+// like the simulation it drives, it is a single-threaded control loop.
+type Session struct {
+	rig  *calib.Rig
+	opts Options
+
+	cache  *memcache.Cluster
+	vmInst *vm.Instance
+
+	opened time.Duration
+	// standingStart is when standing provisioning was requested
+	// (billing starts there, like the real services) and
+	// attributedThrough is the end of the last window already charged
+	// to a run. Standing cost is attributed analytically over run
+	// windows rather than read off the clusters at observation time:
+	// the simulation clock drifts past a run's end while trailing
+	// timers (token-bucket refills, keep-alive expiries) drain, and
+	// that dead virtual time is nobody's bill.
+	standingStart     time.Duration
+	attributedThrough time.Duration
+	runs              []*core.RunReport
+	seq               int
+	closed            bool
+}
+
+// Open provisions the session: one simulated cloud with the built-in
+// functions registered, plus whatever standing resources the options
+// ask for (their spin-up runs on the virtual clock before Open
+// returns, and their cost accrues until Close).
+func Open(profile calib.Profile, opts Options) (*Session, error) {
+	rig, err := calib.NewRig(profile)
+	if err != nil {
+		return nil, err
+	}
+	if err := genomics.RegisterFunctions(rig.Platform); err != nil {
+		return nil, err
+	}
+	for _, l := range opts.Listeners {
+		rig.Exec.AddListener(l)
+	}
+	s := &Session{rig: rig, opts: opts}
+	if opts.WarmCacheNodes > 0 || opts.StandingVMType != "" {
+		s.standingStart = rig.Sim.Now()
+		s.attributedThrough = s.standingStart
+		var provErr error
+		rig.Sim.Spawn("session-open", func(p *des.Proc) {
+			if opts.WarmCacheNodes > 0 {
+				s.cache, provErr = rig.CacheProv.Provision(p, opts.WarmCacheNodes)
+				if provErr != nil {
+					return
+				}
+				rig.SetStandingCache(s.cache)
+			}
+			if opts.StandingVMType != "" {
+				s.vmInst, provErr = rig.Prov.Provision(p, opts.StandingVMType)
+				if provErr != nil {
+					return
+				}
+				rig.SetStandingVM(s.vmInst)
+			}
+		})
+		if err := rig.Sim.Run(); err != nil {
+			return nil, fmt.Errorf("session: open: %w", err)
+		}
+		if provErr != nil {
+			return nil, fmt.Errorf("session: open: %w", provErr)
+		}
+	}
+	s.opened = rig.Sim.Now()
+	return s, nil
+}
+
+// Rig exposes the session's simulated cloud for inspection and for
+// hand-built workflows that need its strategies.
+func (s *Session) Rig() *calib.Rig { return s.rig }
+
+// History exposes the auto-planner's accumulated predicted-vs-actual
+// observations.
+func (s *Session) History() *autoplan.History { return s.rig.History }
+
+// standingRatePerHour is the session-owned resources' combined burn
+// rate, mirroring PriceBook.CacheCost / PriceBook.VMCost (node-hours;
+// instance-hours plus the prorated boot volume).
+func (s *Session) standingRatePerHour() float64 {
+	var rate float64
+	if s.cache != nil {
+		rate += float64(s.cache.Nodes()) * s.rig.Profile.Cache.NodeHourlyUSD
+	}
+	if s.vmInst != nil {
+		it := s.vmInst.Type()
+		rate += it.HourlyUSD + float64(it.MemoryGB)*s.rig.Profile.Prices.StorageGBMonth/(30*24)
+	}
+	return rate
+}
+
+// attributeStanding charges the standing window ending at through and
+// returns its cost.
+func (s *Session) attributeStanding(through time.Duration) float64 {
+	if through <= s.attributedThrough {
+		return 0
+	}
+	usd := s.standingRatePerHour() * (through - s.attributedThrough).Hours()
+	s.attributedThrough = through
+	return usd
+}
+
+// Submit builds and executes one job on the session's cloud, blocking
+// until the virtual run completes. The returned report is complete
+// even on stage error (matching Executor.Run); its StandingUSD carries
+// this submission's share of session-owned resource cost: everything
+// accrued since the previous attribution point, spin-up and idle time
+// included.
+func (s *Session) Submit(job Job) (*core.RunReport, error) {
+	if s.closed {
+		return nil, errors.New("session: Submit after Close")
+	}
+	if job.Build == nil {
+		return nil, errors.New("session: job has no Build")
+	}
+	w, err := job.Build(s.rig)
+	if err != nil {
+		return nil, err
+	}
+	if job.DescribeTo != nil {
+		fmt.Fprint(job.DescribeTo, w.Describe())
+	}
+	name := job.Name
+	if name == "" {
+		name = w.Name()
+	}
+	s.seq++
+	var (
+		rep    *core.RunReport
+		runErr error
+	)
+	s.rig.Sim.Spawn(fmt.Sprintf("submit-%03d/%s", s.seq, name), func(p *des.Proc) {
+		if job.Prepare != nil {
+			if err := job.Prepare(p, s.rig); err != nil {
+				runErr = err
+				return
+			}
+		}
+		rep, runErr = s.rig.Exec.Run(p, w)
+	})
+	if err := s.rig.Sim.Run(); err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	if rep != nil {
+		rep.StandingUSD = s.attributeStanding(rep.End)
+		s.runs = append(s.runs, rep)
+	}
+	return rep, runErr
+}
+
+// Report is the session's closing account.
+type Report struct {
+	// Profile names the performance model the session ran under.
+	Profile string
+	// Submissions counts completed Submit calls (reports kept).
+	Submissions int
+	// Runs are the per-submission reports, in order.
+	Runs []*core.RunReport
+	// Opened / Closed are virtual timestamps bounding the session.
+	Opened, Closed time.Duration
+	// StandingUSD is the full standing-resource spend, provisioning
+	// request to deprovisioning. With submissions it equals the sum of
+	// the runs' attributed shares (Close deprovisions at the last
+	// run's end, so no tail accrues after it); with none, it is the
+	// spin-up window nobody used.
+	StandingUSD float64
+	// TotalUSD is the session's complete bill: every run's metered cost
+	// plus the entire standing spend.
+	TotalUSD float64
+}
+
+// Close stops the session's standing resources and returns the closing
+// account. The session deprovisions at the last run's end: standing
+// billing covers provisioning request through last use (with no
+// submissions, through the end of spin-up). Further Submits fail;
+// Close is not idempotent (the second call errors, the account having
+// already been rendered).
+func (s *Session) Close() (Report, error) {
+	if s.closed {
+		return Report{}, errors.New("session: already closed")
+	}
+	s.closed = true
+	if s.cache != nil {
+		s.cache.Stop()
+	}
+	if s.vmInst != nil {
+		s.vmInst.Stop()
+	}
+	closedAt := s.attributedThrough
+	if len(s.runs) == 0 {
+		closedAt = s.opened
+	}
+	s.attributeStanding(closedAt) // only nonzero with zero submissions
+	rep := Report{
+		Profile:     s.rig.Profile.Name,
+		Submissions: len(s.runs),
+		Runs:        s.runs,
+		Opened:      s.opened,
+		Closed:      closedAt,
+		StandingUSD: s.standingRatePerHour() * (s.attributedThrough - s.standingStart).Hours(),
+	}
+	for _, r := range s.runs {
+		rep.TotalUSD += r.Cost.Total()
+	}
+	rep.TotalUSD += rep.StandingUSD
+	return rep, nil
+}
+
+// String renders the closing account.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "session on %s: %d submission(s), %.1fs of virtual time\n",
+		r.Profile, r.Submissions, (r.Closed - r.Opened).Seconds())
+	for i, run := range r.Runs {
+		fmt.Fprintf(&b, "  run %d %-20s %8.2fs  $%.4f metered + $%.4f standing = $%.4f\n",
+			i+1, run.Workflow, run.Latency().Seconds(),
+			run.Cost.Total(), run.StandingUSD, run.TotalUSD())
+	}
+	if r.StandingUSD > 0 {
+		fmt.Fprintf(&b, "  standing resources: $%.4f total\n", r.StandingUSD)
+	}
+	fmt.Fprintf(&b, "  session total: $%.4f\n", r.TotalUSD)
+	return b.String()
+}

@@ -1,0 +1,192 @@
+package session_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+	"github.com/faaspipe/faaspipe/internal/calib"
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/core"
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+	"github.com/faaspipe/faaspipe/internal/pipeline"
+	"github.com/faaspipe/faaspipe/internal/session"
+)
+
+const cacheDoc = `{
+  "name": "cache-pipe",
+  "input": {"bucket": "data", "key": "sample.bed"},
+  "workBucket": "work",
+  "stages": [
+    {"name": "sort", "type": "shuffle", "strategy": "cache", "workers": 4}
+  ]
+}`
+
+// TestSharedWarmCacheAcrossSubmissions: multiple submissions exchange
+// through the one session-owned cluster — no per-job provisioning —
+// and the session's total cost beats the same jobs run independently.
+func TestSharedWarmCacheAcrossSubmissions(t *testing.T) {
+	profile := calib.Paper()
+	d, err := pipeline.Load([]byte(cacheDoc))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	const jobs = 2
+	dataBytes := int64(3500e6)
+
+	sess, err := session.Open(profile, session.Options{WarmCacheNodes: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var sharedRuns []*core.RunReport
+	for i := 0; i < jobs; i++ {
+		rep, err := sess.Submit(d.Job(pipeline.JobConfig{DataBytes: dataBytes}))
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i+1, err)
+		}
+		sharedRuns = append(sharedRuns, rep)
+	}
+	if got := len(sess.Rig().CacheProv.Clusters()); got != 1 {
+		t.Fatalf("clusters provisioned = %d, want 1 (shared)", got)
+	}
+	if sess.Rig().StandingCache.Stopped() {
+		t.Fatal("standing cluster stopped mid-session")
+	}
+	if sharedRuns[0].StandingUSD <= sharedRuns[1].StandingUSD {
+		t.Errorf("first run's standing share (%f) should carry the spin-up window (second: %f)",
+			sharedRuns[0].StandingUSD, sharedRuns[1].StandingUSD)
+	}
+	report, err := sess.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !sess.Rig().StandingCache.Stopped() {
+		t.Error("Close left the standing cluster running")
+	}
+	if report.Submissions != jobs {
+		t.Errorf("report submissions = %d", report.Submissions)
+	}
+
+	var independentUSD float64
+	for i := 0; i < jobs; i++ {
+		rep, err := pipeline.Run(d, pipeline.RunConfig{Profile: profile, DataBytes: dataBytes})
+		if err != nil {
+			t.Fatalf("independent run %d: %v", i+1, err)
+		}
+		independentUSD += rep.TotalUSD()
+	}
+	if report.TotalUSD >= independentUSD {
+		t.Errorf("shared session $%.4f not below independent $%.4f",
+			report.TotalUSD, independentUSD)
+	}
+}
+
+// TestStandingVMSharedAcrossSubmissions: a session-owned instance is
+// used by every VM sort without per-job provisioning.
+func TestStandingVMSharedAcrossSubmissions(t *testing.T) {
+	sess, err := session.Open(calib.Local(), session.Options{StandingVMType: "bx2-4x16"})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rig := sess.Rig()
+	recs := bed.Generate(bed.GenConfig{Records: 900, Seed: 7})
+	stage := func(p *des.Proc, r *calib.Rig) error {
+		c := objectstore.NewClient(r.Store)
+		for _, b := range []string{"data", "work"} {
+			if err := c.CreateBucket(p, b); err != nil {
+				return err
+			}
+		}
+		return c.Put(p, "data", "in", payload.RealNoCopy(bed.Marshal(recs)))
+	}
+	for i := 0; i < 2; i++ {
+		w := core.NewWorkflow("vmjob")
+		if err := w.Add(&core.SortStage{
+			Strategy: rig.VMStrategy(),
+			Params:   rig.SortParams("data", "in", "work", "sorted/", 2),
+		}); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+		rep, err := sess.Submit(session.WorkflowJob(w, stage))
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i+1, err)
+		}
+		sr, _ := rep.Stage("sort")
+		if !strings.Contains(sr.Detail, "standing instance") {
+			t.Errorf("run %d sort detail %q did not use the standing instance", i+1, sr.Detail)
+		}
+	}
+	if got := len(rig.Prov.Instances()); got != 1 {
+		t.Fatalf("instances provisioned = %d, want 1 (shared)", got)
+	}
+	if rig.Prov.Instances()[0].Stopped() {
+		t.Fatal("standing instance stopped mid-session")
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !rig.Prov.Instances()[0].Stopped() {
+		t.Error("Close left the standing instance running")
+	}
+}
+
+// TestSessionLifecycleErrors: Submit after Close and double Close
+// fail; a job without Build fails.
+func TestSessionLifecycleErrors(t *testing.T) {
+	sess, err := session.Open(calib.Local(), session.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := sess.Submit(session.Job{}); err == nil {
+		t.Error("job without Build accepted")
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := sess.Close(); err == nil {
+		t.Error("double Close accepted")
+	}
+	d, _ := pipeline.Load([]byte(cacheDoc))
+	if _, err := sess.Submit(d.Job(pipeline.JobConfig{DataBytes: 1 << 20})); err == nil {
+		t.Error("Submit after Close accepted")
+	}
+}
+
+// TestDescribeAfterSessionRun: a nil-strategy (planner) sort renders
+// "[exchange: auto]" before the run and "auto → <family>" after — the
+// plan the stage committed to is visible in the DAG rendering.
+func TestDescribeAfterSessionRun(t *testing.T) {
+	sess, err := session.Open(calib.Local(), session.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rig := sess.Rig()
+	recs := bed.Generate(bed.GenConfig{Records: 1200, Seed: 8})
+	w := core.NewWorkflow("describe")
+	params := rig.SortParams("data", "in", "work", "sorted/", 0)
+	if err := w.Add(&core.SortStage{Params: params}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if !strings.Contains(w.Describe(), "sort [exchange: auto]") {
+		t.Fatalf("pre-run Describe:\n%s", w.Describe())
+	}
+	_, err = sess.Submit(session.WorkflowJob(w, func(p *des.Proc, r *calib.Rig) error {
+		c := objectstore.NewClient(r.Store)
+		for _, b := range []string{"data", "work"} {
+			if err := c.CreateBucket(p, b); err != nil {
+				return err
+			}
+		}
+		return c.Put(p, "data", "in", payload.RealNoCopy(bed.Marshal(recs)))
+	}))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if !strings.Contains(w.Describe(), "[exchange: auto → ") {
+		t.Fatalf("post-run Describe does not show the committed plan:\n%s", w.Describe())
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -70,6 +70,12 @@ type CacheSpec struct {
 	// MGet pipelining instead of w serial Gets — one request latency
 	// per shard instead of per partition.
 	BatchedGets bool
+	// Cluster, when set, is an already-running cluster owned by the
+	// caller (a session's standing warm cluster): no provisioning
+	// happens, the cluster is left running afterwards, and CacheUSD is
+	// reported as 0 because the owner attributes its node-hours.
+	// Nodes/Headroom/Warm are ignored.
+	Cluster *memcache.Cluster
 }
 
 // CacheResult reports a completed cache-exchanged sort.
@@ -131,7 +137,17 @@ func (op *CacheOperator) Sort(p *des.Proc, spec CacheSpec) (CacheResult, error) 
 	}
 
 	nodes := spec.Nodes
-	if nodes <= 0 {
+	if spec.Cluster != nil {
+		if spec.Cluster.Stopped() {
+			return CacheResult{}, errors.New("shuffle: caller-owned cache cluster is stopped")
+		}
+		nodes = spec.Cluster.Nodes()
+		if size > spec.Cluster.CapacityBytes() {
+			return CacheResult{}, fmt.Errorf(
+				"shuffle: %d-byte exchange exceeds the standing cluster's %d-byte capacity",
+				size, spec.Cluster.CapacityBytes())
+		}
+	} else if nodes <= 0 {
 		nodes = memcache.NodesForCapacity(op.prov.Config(), size, spec.Headroom)
 	}
 	res := CacheResult{Nodes: nodes, PeakCacheBytes: size}
@@ -157,18 +173,22 @@ func (op *CacheOperator) Sort(p *des.Proc, spec CacheSpec) (CacheResult, error) 
 	}
 	res.Workers = workers
 
-	// Provision the cluster (skipped when warm: it is already up).
+	// Provision the cluster (skipped when warm: it is already up; or
+	// when the caller owns one: this job just uses it).
 	provStart := p.Now()
-	var cluster *memcache.Cluster
-	if spec.Warm {
-		cluster, err = op.prov.ProvisionWarm(p, nodes)
-	} else {
-		cluster, err = op.prov.Provision(p, nodes)
+	cluster := spec.Cluster
+	owned := cluster == nil
+	if owned {
+		if spec.Warm {
+			cluster, err = op.prov.ProvisionWarm(p, nodes)
+		} else {
+			cluster, err = op.prov.Provision(p, nodes)
+		}
+		if err != nil {
+			return CacheResult{}, fmt.Errorf("shuffle: provision cache: %w", err)
+		}
+		defer cluster.Stop()
 	}
-	if err != nil {
-		return CacheResult{}, fmt.Errorf("shuffle: provision cache: %w", err)
-	}
-	defer cluster.Stop()
 	res.Provision = p.Now() - provStart
 
 	// Sample for partition boundaries (real mode only).
@@ -230,8 +250,10 @@ func (op *CacheOperator) Sort(p *des.Proc, spec CacheSpec) (CacheResult, error) 
 		}
 		res.OutputKeys = append(res.OutputKeys, key)
 	}
-	cluster.Stop()
-	res.CacheUSD = cluster.Cost()
+	if owned {
+		cluster.Stop()
+		res.CacheUSD = cluster.Cost()
+	}
 	return res, nil
 }
 
