@@ -1,0 +1,119 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// repo's benchmark-trajectory JSON (BENCH_<n>.json): one object per
+// benchmark with ns/op and any additional metrics (-benchmem's B/op
+// and allocs/op, the experiment benchmarks' virtual-s and usd, ...).
+// CI runs the data-plane benchmarks through it and uploads the result,
+// so successive PRs accumulate comparable perf snapshots.
+//
+//	go test -bench . -benchmem ./... | benchjson -issue 3 -out BENCH_3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark's full name including the -cpu suffix,
+	// e.g. "BenchmarkParseLine-8".
+	Name string `json:"name"`
+	// Pkg is the package the result came from (the preceding "pkg:"
+	// header line).
+	Pkg string `json:"pkg"`
+	// Iterations is the measured iteration count.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every further "<value> <unit>" pair on the line:
+	// "B/op", "allocs/op", "MB/s", "virtual-s", "usd", ...
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the trajectory file schema.
+type File struct {
+	Schema string `json:"schema"`
+	Issue  int    `json:"issue,omitempty"`
+	// Env carries the goos/goarch/cpu header lines when present.
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func parse(lines *bufio.Scanner) (File, error) {
+	out := File{Schema: "faaspipe-bench/v1", Env: map[string]string{}}
+	pkg := ""
+	for lines.Scan() {
+		line := strings.TrimSpace(lines.Text())
+		for _, hdr := range []string{"goos", "goarch", "cpu", "pkg"} {
+			if v, ok := strings.CutPrefix(line, hdr+": "); ok {
+				if hdr == "pkg" {
+					pkg = v
+				} else {
+					out.Env[hdr] = v
+				}
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name iterations value unit [value unit]...
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Pkg: pkg, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return File{}, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			if fields[i+1] == "ns/op" {
+				b.NsPerOp = v
+			} else {
+				b.Metrics[fields[i+1]] = v
+			}
+		}
+		out.Benchmarks = append(out.Benchmarks, b)
+	}
+	return out, lines.Err()
+}
+
+func main() {
+	issue := flag.Int("issue", 0, "issue/PR number to stamp into the file")
+	outPath := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+
+	f, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	f.Issue = *issue
+	if len(f.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

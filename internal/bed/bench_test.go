@@ -1,0 +1,77 @@
+package bed
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+)
+
+// The data-plane benchmarks come in new/legacy pairs over identical
+// workloads (20k generated records, seed 11 — the same fixture the
+// shuffle package's partition/merge benchmarks use), so the
+// allocs/op and ns/op wins recorded in EXPERIMENTS.md and BENCH_3.json
+// stay reproducible from the tree itself.
+
+func benchRecords() []Record {
+	return Generate(GenConfig{Records: 20000, Seed: 11, Sorted: false})
+}
+
+func benchLines(recs []Record) [][]byte {
+	data := Marshal(recs)
+	return bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+}
+
+func BenchmarkParseLine(b *testing.B) {
+	lines := benchLines(benchRecords())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseLine(lines[i%len(lines)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseLineLegacy(b *testing.B) {
+	lines := benchLines(benchRecords())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := referenceParseLine(lines[i%len(lines)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKeyOfLine(b *testing.B) {
+	lines := benchLines(benchRecords())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KeyOfLine(lines[i%len(lines)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSort(b *testing.B) {
+	recs := benchRecords()
+	scratch := make([]Record, len(recs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, recs)
+		Sort(scratch)
+	}
+}
+
+func BenchmarkSortLegacy(b *testing.B) {
+	recs := benchRecords()
+	scratch := make([]Record, len(recs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, recs)
+		sort.Slice(scratch, func(i, j int) bool { return Less(scratch[i], scratch[j]) })
+	}
+}

@@ -3,6 +3,7 @@ package bed
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -80,37 +81,130 @@ func (e *ParseError) Error() string {
 	return fmt.Sprintf("bed: line %d: %s", e.Line, e.Msg)
 }
 
-// ParseLine parses one TSV line (without trailing newline).
+var (
+	errKeyFields = errors.New("bed: line has fewer than 3 fields")
+	errKeyStart  = errors.New("bed: bad start integer")
+	errKeyEnd    = errors.New("bed: bad end integer")
+)
+
+// internTab maps the strings the hot parse path sees on virtually
+// every line — hg38 chromosome names and the "." feature name — to
+// shared instances, so ParseLine allocates nothing for them. The
+// map[string]x lookup with a string([]byte) key compiles to an
+// allocation-free probe.
+var internTab = func() map[string]string {
+	tab := make(map[string]string, 32)
+	for _, s := range []string{
+		"chr1", "chr2", "chr3", "chr4", "chr5", "chr6", "chr7", "chr8",
+		"chr9", "chr10", "chr11", "chr12", "chr13", "chr14", "chr15",
+		"chr16", "chr17", "chr18", "chr19", "chr20", "chr21", "chr22",
+		"chrX", "chrY", "chrM", "chrMT", ".",
+	} {
+		tab[s] = s
+	}
+	return tab
+}()
+
+// intern returns a shared string for common field values, falling back
+// to a fresh allocation for uncommon ones.
+func intern(b []byte) string {
+	if s, ok := internTab[string(b)]; ok {
+		return s
+	}
+	return string(b)
+}
+
+// parseInt parses a base-10 signed integer with the same accept set as
+// strconv.ParseInt(string(b), 10, 64), but on a byte slice or string
+// directly and without ever allocating — strconv's error values are
+// heap allocations, which matters in chromRank, where probing "X" for
+// a number is the expected case, not the error case.
+func parseInt[T []byte | string](b T) (int64, bool) {
+	i := 0
+	neg := false
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		neg = b[0] == '-'
+		i = 1
+	}
+	if i == len(b) {
+		return 0, false
+	}
+	limit := uint64(1)<<63 - 1
+	if neg {
+		limit = uint64(1) << 63
+	}
+	var un uint64
+	for ; i < len(b); i++ {
+		d := b[i] - '0'
+		if d > 9 {
+			return 0, false
+		}
+		if un > (limit-uint64(d))/10 {
+			return 0, false
+		}
+		un = un*10 + uint64(d)
+	}
+	if neg {
+		return -int64(un), true
+	}
+	return int64(un), true
+}
+
+// ParseLine parses one TSV line (without trailing newline). The happy
+// path is allocation-free: fields are located with a single tab scan
+// (no bytes.Split slice-of-slices), integers are parsed straight off
+// the byte slices, and common chrom/name strings are interned.
 func ParseLine(line []byte) (Record, error) {
-	fields := bytes.Split(line, []byte{'\t'})
-	if len(fields) != 11 {
-		return Record{}, fmt.Errorf("want 11 fields, got %d", len(fields))
+	var fields [11][]byte
+	n := 0
+	start := 0
+	for i := 0; ; i++ {
+		if i < len(line) && line[i] != '\t' {
+			continue
+		}
+		if n < len(fields) {
+			fields[n] = line[start:i]
+		}
+		n++
+		start = i + 1
+		if i == len(line) {
+			break
+		}
+	}
+	if n != 11 {
+		return Record{}, fmt.Errorf("want 11 fields, got %d", n)
 	}
 	var r Record
-	r.Chrom = string(fields[0])
-	var err error
-	if r.Start, err = strconv.ParseInt(string(fields[1]), 10, 64); err != nil {
-		return Record{}, fmt.Errorf("start: %v", err)
+	var ok bool
+	r.Chrom = intern(fields[0])
+	if r.Start, ok = parseInt(fields[1]); !ok {
+		return Record{}, fmt.Errorf("start: bad integer %q", fields[1])
 	}
-	if r.End, err = strconv.ParseInt(string(fields[2]), 10, 64); err != nil {
-		return Record{}, fmt.Errorf("end: %v", err)
+	if r.End, ok = parseInt(fields[2]); !ok {
+		return Record{}, fmt.Errorf("end: bad integer %q", fields[2])
 	}
-	r.Name = string(fields[3])
-	if r.Score, err = strconv.Atoi(string(fields[4])); err != nil {
-		return Record{}, fmt.Errorf("score: %v", err)
+	r.Name = intern(fields[3])
+	score, ok := parseInt(fields[4])
+	if !ok {
+		return Record{}, fmt.Errorf("score: bad integer %q", fields[4])
 	}
+	r.Score = int(score)
 	if len(fields[5]) != 1 {
 		return Record{}, fmt.Errorf("strand %q", fields[5])
 	}
 	r.Strand = fields[5][0]
 	// fields 6,7 (thickStart/thickEnd) and 8 (itemRgb) are derived;
 	// accept and ignore their values.
-	if r.Coverage, err = strconv.Atoi(string(fields[9])); err != nil {
-		return Record{}, fmt.Errorf("coverage: %v", err)
+	cov, ok := parseInt(fields[9])
+	if !ok {
+		return Record{}, fmt.Errorf("coverage: bad integer %q", fields[9])
 	}
-	if r.MethPct, err = strconv.Atoi(string(fields[10])); err != nil {
-		return Record{}, fmt.Errorf("methylation: %v", err)
+	r.Coverage = int(cov)
+	meth, ok := parseInt(fields[10])
+	if !ok {
+		return Record{}, fmt.Errorf("methylation: bad integer %q", fields[10])
 	}
+	r.MethPct = int(meth)
 	if err := r.Validate(); err != nil {
 		return Record{}, err
 	}

@@ -7,10 +7,14 @@ package bed
 
 import (
 	"fmt"
+	"slices"
 	"sort"
-	"strconv"
 	"strings"
 )
+
+// maxInt mirrors strconv.Atoi's overflow cutoff: numeric chromosome
+// suffixes past the int range stay unranked, as they always did.
+const maxInt = int64(^uint(0) >> 1)
 
 // Record is one methylation call: a genomic interval with read
 // coverage and percent methylation, per the ENCODE WGBS standard.
@@ -55,12 +59,16 @@ func (r Record) Validate() error {
 	return nil
 }
 
+// beyondRank is the rank of names outside the table below; they order
+// after everything ranked, lexically among themselves.
+const beyondRank = 26
+
 // chromRank orders chromosome names in genome order: chr1..chr22,
 // chrX, chrY, chrM, then anything else lexically after.
 func chromRank(chrom string) (int, string) {
 	s := strings.TrimPrefix(chrom, "chr")
-	if n, err := strconv.Atoi(s); err == nil && n >= 1 {
-		return n, ""
+	if n, ok := parseInt(s); ok && n >= 1 && n <= maxInt {
+		return int(n), ""
 	}
 	switch s {
 	case "X":
@@ -70,7 +78,7 @@ func chromRank(chrom string) (int, string) {
 	case "M", "MT":
 		return 25, ""
 	}
-	return 26, chrom
+	return beyondRank, chrom
 }
 
 // Less orders records in genome order: chromosome rank, then start,
@@ -90,9 +98,35 @@ func Less(a, b Record) bool {
 	return a.End < b.End
 }
 
-// Sort sorts records in place in genome order.
+// keyedRecord pairs a record with its precomputed sort key, so a sort
+// never re-parses chromosome names inside the comparator.
+type keyedRecord struct {
+	key Key
+	rec Record
+}
+
+func compareKeyed(a, b keyedRecord) int {
+	// CompareKeyName, not CompareKey: beyond-table names colliding in
+	// the key's 8-byte prefix must be resolved by full name before
+	// start/end, exactly as Less resolves them.
+	return CompareKeyName(a.key, a.rec.Chrom, b.key, b.rec.Chrom)
+}
+
+// Sort sorts records in place in genome order. Keys are computed once
+// per record up front (one chromosome-name parse each) instead of
+// twice per comparison inside the sort loop.
 func Sort(recs []Record) {
-	sort.Slice(recs, func(i, j int) bool { return Less(recs[i], recs[j]) })
+	if len(recs) < 2 {
+		return
+	}
+	keyed := make([]keyedRecord, len(recs))
+	for i, r := range recs {
+		keyed[i] = keyedRecord{key: KeyOf(r), rec: r}
+	}
+	slices.SortFunc(keyed, compareKeyed)
+	for i := range keyed {
+		recs[i] = keyed[i].rec
+	}
 }
 
 // IsSorted reports whether records are in genome order.
@@ -101,7 +135,10 @@ func IsSorted(recs []Record) bool {
 }
 
 // SortKey returns a byte string whose lexicographic order matches
-// genome order; the shuffle operator range-partitions on it.
+// genome order. It is the legacy string key the binary Key replaced in
+// the shuffle's data plane (an fmt.Sprintf per record, and it ignores
+// End); it is kept as the reference ordering the Key property tests
+// compare against.
 func SortKey(r Record) string {
 	rank, extra := chromRank(r.Chrom)
 	return fmt.Sprintf("%02d%s:%012d", rank, extra, r.Start)

@@ -1,0 +1,144 @@
+package shuffle
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+)
+
+// The partition and merge benchmarks mirror internal/bed's
+// new/legacy pairs: identical workloads (20k records, seed 11, 8
+// reducers) through the binary-key data plane and through the string-
+// keyed, materialize-and-resort path it replaced, kept inline here as
+// the measured baseline.
+
+func benchRecords() []bed.Record {
+	return bed.Generate(bed.GenConfig{Records: 20000, Seed: 11, Sorted: false})
+}
+
+func benchBounds(recs []bed.Record, workers int) []Boundary {
+	keys := make([]Boundary, len(recs))
+	for i, r := range recs {
+		keys[i] = Boundary{Key: bed.KeyOf(r), Name: r.Chrom}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return bed.CompareKeyName(keys[i].Key, keys[i].Name, keys[j].Key, keys[j].Name) < 0
+	})
+	bounds := make([]Boundary, workers-1)
+	for i := 1; i < workers; i++ {
+		bounds[i-1] = keys[i*len(keys)/workers]
+	}
+	return bounds
+}
+
+func BenchmarkPartition(b *testing.B) {
+	recs := benchRecords()
+	raw := bed.Marshal(recs)
+	bounds := benchBounds(recs, 8)
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partitionRaw(raw, false, 0, int64(len(raw)), 8, bounds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// legacyPartitionRaw is the pre-data-plane mapper body: parse each
+// line to a Record, format its SortKey string, binary-search the
+// string boundaries, and re-serialize — no sorted-run invariant.
+func legacyPartitionRaw(raw []byte, workers int, boundaries []string, lines [][]byte) ([][]byte, error) {
+	parts := make([][]byte, workers)
+	for _, line := range lines {
+		rec, err := bed.ParseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		r := sort.SearchStrings(boundaries, bed.SortKey(rec)+"\x00")
+		parts[r] = bed.AppendTSV(parts[r], rec)
+	}
+	return parts, nil
+}
+
+func BenchmarkPartitionLegacy(b *testing.B) {
+	recs := benchRecords()
+	raw := bed.Marshal(recs)
+	var lines [][]byte
+	if err := forEachLine(raw, func(line []byte) error {
+		lines = append(lines, line)
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, len(recs))
+	for i, r := range recs {
+		keys[i] = bed.SortKey(r)
+	}
+	sort.Strings(keys)
+	bounds := make([]string, 7)
+	for i := 1; i < 8; i++ {
+		bounds[i-1] = keys[i*len(keys)/8]
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := legacyPartitionRaw(raw, 8, bounds, lines); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRuns builds 8 sorted runs covering the benchmark records.
+func benchRuns(b *testing.B) ([][]byte, int64) {
+	b.Helper()
+	recs := benchRecords()
+	bed.Sort(recs)
+	const w = 8
+	lists := make([][]bed.Record, w)
+	for i, r := range recs {
+		lists[i%w] = append(lists[i%w], r)
+	}
+	runs := make([][]byte, w)
+	var total int64
+	for i, rl := range lists {
+		runs[i] = bed.Marshal(rl)
+		total += int64(len(runs[i]))
+	}
+	return runs, total
+}
+
+func BenchmarkReduceMerge(b *testing.B) {
+	runs, total := benchRuns(b)
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mergeRuns(runs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReduceMergeLegacy(b *testing.B) {
+	runs, total := benchRuns(b)
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The pre-data-plane reducer body: parse every partition,
+		// concatenate, full-sort, re-serialize.
+		var all []bed.Record
+		for _, raw := range runs {
+			part, err := bed.Unmarshal(raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			all = append(all, part...)
+		}
+		bed.Sort(all)
+		_ = bed.Marshal(all)
+	}
+}

@@ -3,9 +3,9 @@ package shuffle
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
-	"github.com/faaspipe/faaspipe/internal/bed"
 	"github.com/faaspipe/faaspipe/internal/cloud/payload"
 	"github.com/faaspipe/faaspipe/internal/des"
 	"github.com/faaspipe/faaspipe/internal/faas"
@@ -32,7 +32,9 @@ type CacheOperator struct {
 	platform *faas.Platform
 	store    *objectstore.Service
 	prov     *memcache.Provisioner
-	seq      int
+	// seq allocates job IDs atomically: a session rig shares one
+	// operator across concurrently Submitted jobs.
+	seq atomic.Int64
 }
 
 // NewCacheOperator registers the cache-shuffle functions on the
@@ -123,8 +125,7 @@ func (op *CacheOperator) Sort(p *des.Proc, spec CacheSpec) (CacheResult, error) 
 	if spec.Headroom <= 0 {
 		spec.Headroom = defaultCacheHeadroom
 	}
-	op.seq++
-	jobID := fmt.Sprintf("cacheshuffle-%04d", op.seq)
+	jobID := fmt.Sprintf("cacheshuffle-%04d", op.seq.Add(1))
 	client := objectstore.NewClient(op.store)
 
 	head, err := client.Head(p, spec.InputBucket, spec.InputKey)
@@ -278,7 +279,7 @@ type cacheMapTask struct {
 	TotalSize    int64
 	Workers      int
 	MapIndex     int
-	Boundaries   []string
+	Boundaries   []Boundary
 	Cache        *memcache.Cluster
 	PartitionBps float64
 }
@@ -355,9 +356,11 @@ func cacheMapHandler(ctx *faas.Ctx, input any) (any, error) {
 	return nil, nil
 }
 
-// cacheReduceHandler Gets its partition from every mapper's cache
-// entries, merges, writes one globally-ordered part to the object
-// store, and deletes the consumed entries to release cache memory.
+// cacheReduceHandler Gets its sorted run from every mapper's cache
+// entries, streams a k-way merge over them, writes one globally-ordered
+// part to the object store, and then deletes the consumed entries to
+// release cache memory (after the output write, mirroring the
+// object-storage reducer's retry-safe ordering).
 func cacheReduceHandler(ctx *faas.Ctx, input any) (any, error) {
 	task, ok := input.(*cacheReduceTask)
 	if !ok {
@@ -385,39 +388,38 @@ func cacheReduceHandler(ctx *faas.Ctx, input any) (any, error) {
 		}
 	}
 	var (
-		recs     []bed.Record
+		runs     [][]byte
 		anySized bool
 		total    int64
 	)
-	for m, pl := range parts {
+	for _, pl := range parts {
 		total += pl.Size()
 		if raw, real := pl.Bytes(); real {
-			part, err := bed.Unmarshal(raw)
-			if err != nil {
-				return nil, fmt.Errorf("shuffle: cache reduce %d parse m%d: %w", task.ReduceIndex, m, err)
-			}
-			recs = append(recs, part...)
+			runs = append(runs, raw)
 		} else {
 			anySized = true
 		}
+	}
+	ctx.ComputeBytes(total, task.MergeBps)
+
+	outKey := outputKey(task.OutputPrefix, task.ReduceIndex)
+	var out payload.Payload
+	if anySized {
+		out = payload.Sized(total)
+	} else {
+		merged, err := mergeRuns(runs)
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: cache reduce %d merge: %w", task.ReduceIndex, err)
+		}
+		out = payload.RealNoCopy(merged)
+	}
+	if err := ctx.Store.Put(ctx.Proc, task.OutputBucket, outKey, out); err != nil {
+		return nil, fmt.Errorf("shuffle: cache reduce %d write: %w", task.ReduceIndex, err)
 	}
 	for m, key := range keys {
 		if err := task.Cache.Delete(ctx.Proc, key); err != nil {
 			return nil, fmt.Errorf("shuffle: cache reduce %d free m%d: %w", task.ReduceIndex, m, err)
 		}
-	}
-	ctx.ComputeBytes(total, task.MergeBps)
-
-	outKey := fmt.Sprintf("%spart-%04d", task.OutputPrefix, task.ReduceIndex)
-	var out payload.Payload
-	if anySized {
-		out = payload.Sized(total)
-	} else {
-		bed.Sort(recs)
-		out = payload.RealNoCopy(bed.Marshal(recs))
-	}
-	if err := ctx.Store.Put(ctx.Proc, task.OutputBucket, outKey, out); err != nil {
-		return nil, fmt.Errorf("shuffle: cache reduce %d write: %w", task.ReduceIndex, err)
 	}
 	return outKey, nil
 }

@@ -1,0 +1,352 @@
+package shuffle
+
+// The shuffle's binary-key data plane: mappers route records into
+// per-reducer partitions keyed by bed.Key, sort each partition into a
+// sorted run before it is written (the sorted-run invariant on scratch
+// objects), and reducers stream a k-way merge over the runs instead of
+// concatenating, re-parsing, and full-sorting them. TSV bytes flow
+// through the merge verbatim — only the three key columns of each line
+// are ever parsed on the reduce side.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+	"strconv"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+)
+
+// Boundary is one partition boundary: a binary key plus the full
+// chromosome name behind the key's packed prefix, so that routing
+// stays exact (monotone in genome order) even for beyond-table
+// scaffold names that collide in the prefix.
+type Boundary struct {
+	Key  bed.Key
+	Name string
+}
+
+// partitionIndex returns the partition for a (key, chrom-name) pair
+// given sorted boundaries: index i such that boundaries[i-1] <= key <
+// boundaries[i], with keys equal to a boundary routed right — the
+// binary-search equivalent of the legacy string search on key+"\x00".
+func partitionIndex[T bed.ChromName](key bed.Key, name T, boundaries []Boundary) int {
+	return sort.Search(len(boundaries), func(i int) bool {
+		return bed.CompareKeyName(boundaries[i].Key, boundaries[i].Name, key, name) > 0
+	})
+}
+
+// chromOf returns the first column of an encoded TSV line.
+func chromOf(line []byte) []byte {
+	if i := bytes.IndexByte(line, '\t'); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// compareLineKeys orders (key, encoded-line) pairs in exact genome
+// order: the full chromosome column breaks (rank, name-prefix) ties
+// for beyond-table names, lazily — the column is only sliced out on
+// the rare tie-with-packed-name path.
+func compareLineKeys(ak bed.Key, aLine []byte, bk bed.Key, bLine []byte) int {
+	if ak.Rank == bk.Rank && ak.Prefix == bk.Prefix && ak.NamePacked() {
+		if c := bytes.Compare(chromOf(aLine), chromOf(bLine)); c != 0 {
+			return c
+		}
+	}
+	return bed.CompareKey(ak, bk)
+}
+
+// lineRef locates one encoded record inside a partition buffer.
+// 32-bit offsets bound a single partition buffer at 2 GiB — far above
+// any per-worker slice the planner's memory model admits; place()
+// rejects a partition that would cross it.
+type lineRef struct {
+	key      bed.Key
+	off, len int32
+}
+
+// runPart accumulates one reducer's partition: encoded lines plus a
+// key index over them.
+type runPart struct {
+	buf  []byte
+	refs []lineRef
+}
+
+// runBuilder routes records into per-reducer partitions and finishes
+// each as a sorted run. It never materializes a []bed.Record: lines
+// are encoded (or copied) straight into partition buffers, and sorting
+// permutes the compact lineRef index, not records.
+type runBuilder struct {
+	bounds  []Boundary
+	parts   []runPart
+	partCap int // per-partition first-allocation size; 0 grows organically
+}
+
+func newRunBuilder(workers int, bounds []Boundary) *runBuilder {
+	return &runBuilder{bounds: bounds, parts: make([]runPart, workers)}
+}
+
+// sizeHint pre-sizes each partition's buffers for an expected total
+// input volume (+25% headroom for boundary skew), sparing the append
+// path its regrowth copies.
+func (b *runBuilder) sizeHint(totalBytes int) {
+	if totalBytes > 0 && len(b.parts) > 0 {
+		per := totalBytes / len(b.parts)
+		b.partCap = per + per/4
+	}
+}
+
+func (b *runBuilder) place(key bed.Key, off int, p *runPart) error {
+	if len(p.buf) > 1<<31-1 {
+		// lineRef's int32 offsets would wrap; fail loudly instead of
+		// corrupting the run index.
+		return errPartitionTooLarge
+	}
+	if p.refs == nil && b.partCap > 0 {
+		p.refs = make([]lineRef, 0, b.partCap/32) // bedMethyl lines run ~48 bytes
+	}
+	p.refs = append(p.refs, lineRef{key: key, off: int32(off), len: int32(len(p.buf) - off)})
+	return nil
+}
+
+// grow pre-sizes a partition buffer on first touch.
+func (b *runBuilder) grow(p *runPart) {
+	if p.buf == nil && b.partCap > 0 {
+		p.buf = make([]byte, 0, b.partCap)
+	}
+}
+
+// Add parses one raw input line, validates and normalizes it, and
+// routes it to its partition.
+func (b *runBuilder) Add(line []byte) error {
+	rec, err := bed.ParseLine(line)
+	if err != nil {
+		return err
+	}
+	key := bed.KeyOf(rec)
+	p := &b.parts[partitionIndex(key, rec.Chrom, b.bounds)]
+	b.grow(p)
+	off := len(p.buf)
+	p.buf = bed.AppendTSV(p.buf, rec)
+	return b.place(key, off, p)
+}
+
+// AddEncoded routes an already-normalized TSV line (a mapper's own
+// output, re-partitioned by the hierarchical round 2) by parsing only
+// its key columns and copying the bytes verbatim.
+func (b *runBuilder) AddEncoded(line []byte) error {
+	key, err := bed.KeyOfLine(line)
+	if err != nil {
+		return err
+	}
+	p := &b.parts[partitionIndex(key, chromOf(line), b.bounds)]
+	b.grow(p)
+	off := len(p.buf)
+	p.buf = append(p.buf, line...)
+	p.buf = append(p.buf, '\n')
+	return b.place(key, off, p)
+}
+
+// Finish sorts every partition into a sorted run and returns the run
+// buffers, one per reducer (nil for empty partitions).
+func (b *runBuilder) Finish() [][]byte {
+	out := make([][]byte, len(b.parts))
+	for i := range b.parts {
+		out[i] = b.parts[i].finish()
+	}
+	return out
+}
+
+func (p *runPart) finish() []byte {
+	cmp := func(a, b lineRef) int {
+		return compareLineKeys(a.key, p.line(a), b.key, p.line(b))
+	}
+	sorted := true
+	for i := 1; i < len(p.refs); i++ {
+		if cmp(p.refs[i-1], p.refs[i]) > 0 {
+			sorted = false
+			break
+		}
+	}
+	if sorted { // already a run (common for pre-sorted input): no copy
+		return p.buf
+	}
+	slices.SortStableFunc(p.refs, cmp)
+	dst := make([]byte, 0, len(p.buf))
+	for _, ref := range p.refs {
+		dst = append(dst, p.buf[ref.off:ref.off+ref.len]...)
+	}
+	return dst
+}
+
+// line slices a ref's encoded line out of the partition buffer.
+func (p *runPart) line(r lineRef) []byte {
+	return p.buf[r.off : r.off+r.len]
+}
+
+// forEachLine calls fn for every non-blank line of raw.
+func forEachLine(raw []byte, fn func(line []byte) error) error {
+	for len(raw) > 0 {
+		var line []byte
+		if nl := bytes.IndexByte(raw, '\n'); nl < 0 {
+			line, raw = raw, nil
+		} else {
+			line, raw = raw[:nl], raw[nl+1:]
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runCursor walks one sorted run line by line during a merge.
+type runCursor struct {
+	data []byte  // unconsumed bytes
+	line []byte  // current line, without newline
+	key  bed.Key // current line's sort key
+	idx  int     // run index, the deterministic tie-break
+	live bool    // a current line is loaded
+}
+
+// advance loads the cursor's next non-blank line, verifying the run
+// stays sorted (the mappers' invariant — a violation here means a
+// corrupted scratch object, and silently merging it would emit
+// unsorted output).
+func (c *runCursor) advance() error {
+	prevKey, prevLine, hadPrev := c.key, c.line, c.live
+	c.live = false
+	for len(c.data) > 0 {
+		var line []byte
+		if nl := bytes.IndexByte(c.data, '\n'); nl < 0 {
+			line, c.data = c.data, nil
+		} else {
+			line, c.data = c.data[:nl], c.data[nl+1:]
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		key, err := bed.KeyOfLine(line)
+		if err != nil {
+			return fmt.Errorf("run %d: %w", c.idx, err)
+		}
+		if hadPrev && compareLineKeys(key, line, prevKey, prevLine) < 0 {
+			return fmt.Errorf("run %d is not sorted", c.idx)
+		}
+		c.line, c.key, c.live = line, key, true
+		return nil
+	}
+	return nil
+}
+
+// cursorLess orders heap entries in exact genome order, then run index
+// for deterministic merges.
+func cursorLess(a, b *runCursor) bool {
+	if c := compareLineKeys(a.key, a.line, b.key, b.line); c != 0 {
+		return c < 0
+	}
+	return a.idx < b.idx
+}
+
+// mergeRuns streams k sorted runs into one globally sorted TSV buffer
+// via a binary min-heap of per-run cursors, copying each winning line
+// verbatim into the output. Peak memory is the runs plus one output
+// buffer — no []bed.Record, no re-serialization, no full re-sort.
+func mergeRuns(runs [][]byte) ([]byte, error) {
+	total := 0
+	cursors := make([]runCursor, len(runs))
+	h := make([]*runCursor, 0, len(runs))
+	for i, run := range runs {
+		total += len(run)
+		c := &cursors[i]
+		c.data, c.idx = run, i
+		if err := c.advance(); err != nil {
+			return nil, err
+		}
+		if c.live {
+			h = append(h, c)
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+	out := make([]byte, 0, total)
+	for len(h) > 0 {
+		c := h[0]
+		out = append(out, c.line...)
+		out = append(out, '\n')
+		if err := c.advance(); err != nil {
+			return nil, err
+		}
+		if !c.live {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		if len(h) > 0 {
+			siftDown(h, 0)
+		}
+	}
+	return out, nil
+}
+
+func siftDown(h []*runCursor, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && cursorLess(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && cursorLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+var (
+	errNoLineStart       = errors.New("no line start in slice")
+	errPartitionTooLarge = errors.New("partition exceeds the 2 GiB run-index bound")
+)
+
+// appendIndex4 appends n zero-padded to four digits (the %04d the
+// data plane's key formats use), growing past four digits like fmt
+// would.
+func appendIndex4(b []byte, n int) []byte {
+	if n < 0 || n > 9999 {
+		return strconv.AppendInt(b, int64(n), 10)
+	}
+	return append(b,
+		byte('0'+n/1000), byte('0'+n/100%10), byte('0'+n/10%10), byte('0'+n%10))
+}
+
+// partKey names the intermediate object mapper m writes for reducer r.
+// Append-based: it runs workers^2 times per job, so the fmt.Sprintf it
+// replaces was a measurable constant cost.
+func partKey(jobID string, m, r int) string {
+	b := make([]byte, 0, len(jobID)+len("/m0000_r0000"))
+	b = append(b, jobID...)
+	b = append(b, '/', 'm')
+	b = appendIndex4(b, m)
+	b = append(b, '_', 'r')
+	b = appendIndex4(b, r)
+	return string(b)
+}
+
+// outputKey names reducer idx's globally-ordered output part.
+func outputKey(prefix string, idx int) string {
+	b := make([]byte, 0, len(prefix)+len("part-0000"))
+	b = append(b, prefix...)
+	b = append(b, "part-"...)
+	b = appendIndex4(b, idx)
+	return string(b)
+}

@@ -1,0 +1,135 @@
+package shuffle
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/faaspipe/faaspipe/internal/bed"
+)
+
+func marshalSorted(recs []bed.Record) []byte {
+	s := make([]bed.Record, len(recs))
+	copy(s, recs)
+	bed.Sort(s)
+	return bed.Marshal(s)
+}
+
+func TestRunBuilderEmitsSortedRuns(t *testing.T) {
+	recs := bed.Generate(bed.GenConfig{Records: 3000, Seed: 71, Sorted: false})
+	raw := bed.Marshal(recs)
+	bounds := benchBounds(recs, 4)
+	parts, err := partitionRaw(raw, false, 0, int64(len(raw)), 4, bounds)
+	if err != nil {
+		t.Fatalf("partitionRaw: %v", err)
+	}
+	var n int
+	var prevLast bed.Key
+	for i, part := range parts {
+		got, err := bed.Unmarshal(part)
+		if err != nil {
+			t.Fatalf("partition %d: %v", i, err)
+		}
+		if !bed.IsSorted(got) {
+			t.Fatalf("partition %d is not a sorted run", i)
+		}
+		if len(got) > 0 {
+			first := bed.KeyOf(got[0])
+			if i > 0 && bed.CompareKey(first, prevLast) < 0 {
+				t.Fatalf("partition %d overlaps partition boundary", i)
+			}
+			prevLast = bed.KeyOf(got[len(got)-1])
+		}
+		n += len(got)
+	}
+	if n != len(recs) {
+		t.Fatalf("partitioned %d records, want %d", n, len(recs))
+	}
+}
+
+func TestRunBuilderAlreadySortedSkipsCopy(t *testing.T) {
+	recs := bed.Generate(bed.GenConfig{Records: 500, Seed: 72, Sorted: true})
+	raw := bed.Marshal(recs)
+	parts, err := partitionRaw(raw, false, 0, int64(len(raw)), 1, nil)
+	if err != nil {
+		t.Fatalf("partitionRaw: %v", err)
+	}
+	if !bytes.Equal(parts[0], raw) {
+		t.Fatal("single-partition sorted input should round-trip byte-identically")
+	}
+}
+
+func TestMergeRunsMatchesFullSort(t *testing.T) {
+	recs := bed.Generate(bed.GenConfig{Records: 4000, Seed: 73, Sorted: false})
+	raw := bed.Marshal(recs)
+	bounds := benchBounds(recs, 8)
+	runs, err := partitionRaw(raw, false, 0, int64(len(raw)), 8, bounds)
+	if err != nil {
+		t.Fatalf("partitionRaw: %v", err)
+	}
+	// Merging the runs of ONE mapper reproduces the mapper's whole
+	// slice in sorted order (partition ranges are disjoint, so this
+	// exercises both the heap and run exhaustion).
+	merged, err := mergeRuns(runs)
+	if err != nil {
+		t.Fatalf("mergeRuns: %v", err)
+	}
+	if want := marshalSorted(recs); !bytes.Equal(merged, want) {
+		t.Fatal("merge of one mapper's runs != full sort of its records")
+	}
+}
+
+func TestMergeRunsInterleaved(t *testing.T) {
+	recs := bed.Generate(bed.GenConfig{Records: 999, Seed: 74, Sorted: false})
+	bed.Sort(recs)
+	const w = 5
+	lists := make([][]bed.Record, w)
+	for i, r := range recs {
+		lists[i%w] = append(lists[i%w], r)
+	}
+	runs := make([][]byte, w)
+	for i, rl := range lists {
+		runs[i] = bed.Marshal(rl)
+	}
+	runs = append(runs, nil, []byte("\n\n")) // empty and blank-only runs
+	merged, err := mergeRuns(runs)
+	if err != nil {
+		t.Fatalf("mergeRuns: %v", err)
+	}
+	if !bytes.Equal(merged, bed.Marshal(recs)) {
+		t.Fatal("interleaved merge != globally sorted serialization")
+	}
+}
+
+func TestMergeRunsRejectsUnsortedRun(t *testing.T) {
+	a := bed.Record{Chrom: "chr2", Start: 100, End: 101, Name: ".", Strand: '+'}
+	b := bed.Record{Chrom: "chr1", Start: 5, End: 6, Name: ".", Strand: '+'}
+	run := bed.AppendTSV(bed.AppendTSV(nil, a), b) // descending: invariant broken
+	if _, err := mergeRuns([][]byte{run}); err == nil {
+		t.Fatal("unsorted run accepted by mergeRuns")
+	}
+}
+
+func TestMergeRunsRejectsCorruptLine(t *testing.T) {
+	if _, err := mergeRuns([][]byte{[]byte("chr1\tnot-a-number\t2\n")}); err == nil {
+		t.Fatal("corrupt line accepted by mergeRuns")
+	}
+}
+
+func TestPartKeyMatchesLegacyFormat(t *testing.T) {
+	for _, c := range []struct{ m, r int }{{0, 0}, {3, 7}, {42, 9999}, {10000, 123456}} {
+		want := fmt.Sprintf("job-1/m%04d_r%04d", c.m, c.r)
+		if got := partKey("job-1", c.m, c.r); got != want {
+			t.Errorf("partKey(%d, %d) = %q, want %q", c.m, c.r, got, want)
+		}
+	}
+}
+
+func TestOutputKeyMatchesLegacyFormat(t *testing.T) {
+	for _, idx := range []int{0, 7, 321, 9999, 12345} {
+		want := fmt.Sprintf("sorted/part-%04d", idx)
+		if got := outputKey("sorted/", idx); got != want {
+			t.Errorf("outputKey(%d) = %q, want %q", idx, got, want)
+		}
+	}
+}

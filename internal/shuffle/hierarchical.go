@@ -7,7 +7,6 @@ import (
 	"sort"
 	"time"
 
-	"github.com/faaspipe/faaspipe/internal/bed"
 	"github.com/faaspipe/faaspipe/internal/cloud/payload"
 	"github.com/faaspipe/faaspipe/internal/des"
 	"github.com/faaspipe/faaspipe/internal/faas"
@@ -88,8 +87,7 @@ func (op *Operator) SortHierarchical(p *des.Proc, spec HierSpec) (HierResult, er
 	if spec.SampleBytes <= 0 {
 		spec.SampleBytes = defaultSampleBytes
 	}
-	op.seq++
-	jobID := fmt.Sprintf("hiershuffle-%04d", op.seq)
+	jobID := fmt.Sprintf("hiershuffle-%04d", op.seq.Add(1))
 	client := objectstore.NewClient(op.store)
 
 	head, err := client.Head(p, spec.InputBucket, spec.InputKey)
@@ -142,14 +140,14 @@ func (op *Operator) SortHierarchical(p *des.Proc, spec HierSpec) (HierResult, er
 		return HierResult{}, err
 	}
 	res.Sample = p.Now() - sampleStart
-	var coarse []string
-	fineFor := func(group int) []string { return nil }
+	var coarse []Boundary
+	fineFor := func(group int) []Boundary { return nil }
 	if fine != nil {
-		coarse = make([]string, groups-1)
+		coarse = make([]Boundary, groups-1)
 		for j := 1; j < groups; j++ {
 			coarse[j-1] = fine[j*k-1]
 		}
-		fineFor = func(group int) []string {
+		fineFor = func(group int) []Boundary {
 			lo := group * k // b_{group*k+1} is fine[group*k]
 			return fine[lo : lo+k-1]
 		}
@@ -253,22 +251,27 @@ type repartitionTask struct {
 	SourceKeys    []string
 	Workers       int
 	MapIndex      int
-	Boundaries    []string
+	Boundaries    []Boundary
 	PartitionBps  float64
 	Cleanup       bool
 }
 
-// repartitionHandler gathers its source objects, splits their records
-// by the (fine) boundaries, and writes one partition per reducer —
-// round 1's mapHandler generalized from "a byte range of one object"
-// to "a list of whole objects".
+// repartitionHandler gathers its source objects, splits their
+// already-normalized lines by the (fine) boundaries — parsing only the
+// key columns, never materializing records — and writes one sorted run
+// per reducer: round 1's mapHandler generalized from "a byte range of
+// one object" to "a list of whole objects".
 func repartitionHandler(ctx *faas.Ctx, input any) (any, error) {
 	task, ok := input.(*repartitionTask)
 	if !ok {
 		return nil, fmt.Errorf("shuffle: repartition input %T", input)
 	}
+	builder := newRunBuilder(task.Workers, task.Boundaries)
 	var (
-		recs     []bed.Record
+		consumed []string
+		raws     [][]byte
+		rawKeys  []string
+		rawBytes int
 		total    int64
 		anySized bool
 	)
@@ -278,19 +281,21 @@ func repartitionHandler(ctx *faas.Ctx, input any) (any, error) {
 			return nil, fmt.Errorf("shuffle: repartition %d fetch %s: %w", task.MapIndex, key, err)
 		}
 		if task.Cleanup {
-			if err := ctx.Store.Delete(ctx.Proc, task.SourceBucket, key); err != nil {
-				return nil, fmt.Errorf("shuffle: repartition %d free %s: %w", task.MapIndex, key, err)
-			}
+			consumed = append(consumed, key)
 		}
 		total += pl.Size()
 		if raw, real := pl.Bytes(); real {
-			part, err := bed.Unmarshal(raw)
-			if err != nil {
-				return nil, fmt.Errorf("shuffle: repartition %d parse %s: %w", task.MapIndex, key, err)
-			}
-			recs = append(recs, part...)
+			raws = append(raws, raw)
+			rawKeys = append(rawKeys, key)
+			rawBytes += len(raw)
 		} else {
 			anySized = true
+		}
+	}
+	builder.sizeHint(rawBytes)
+	for i, raw := range raws {
+		if err := forEachLine(raw, builder.AddEncoded); err != nil {
+			return nil, fmt.Errorf("shuffle: repartition %d parse %s: %w", task.MapIndex, rawKeys[i], err)
 		}
 	}
 	ctx.ComputeBytes(total, task.PartitionBps)
@@ -309,18 +314,21 @@ func repartitionHandler(ctx *faas.Ctx, input any) (any, error) {
 				return nil, fmt.Errorf("shuffle: repartition %d write %d: %w", task.MapIndex, r, err)
 			}
 		}
-		return nil, nil
+	} else {
+		parts := builder.Finish()
+		for r := 0; r < task.Workers; r++ {
+			if err := ctx.Store.Put(ctx.Proc, task.ScratchBucket,
+				partKey(task.JobID, task.MapIndex, r), payload.RealNoCopy(parts[r])); err != nil {
+				return nil, fmt.Errorf("shuffle: repartition %d write %d: %w", task.MapIndex, r, err)
+			}
+		}
 	}
-
-	parts := make([][]byte, task.Workers)
-	for _, rec := range recs {
-		r := partitionIndex(bed.SortKey(rec), task.Boundaries)
-		parts[r] = bed.AppendTSV(parts[r], rec)
-	}
-	for r := 0; r < task.Workers; r++ {
-		if err := ctx.Store.Put(ctx.Proc, task.ScratchBucket,
-			partKey(task.JobID, task.MapIndex, r), payload.RealNoCopy(parts[r])); err != nil {
-			return nil, fmt.Errorf("shuffle: repartition %d write %d: %w", task.MapIndex, r, err)
+	// Source deletes are deferred until every partition this worker
+	// produces is durable, so a MaxRetries re-attempt can re-read its
+	// inputs — the same ordering reduceHandler uses.
+	for _, key := range consumed {
+		if err := ctx.Store.Delete(ctx.Proc, task.SourceBucket, key); err != nil {
+			return nil, fmt.Errorf("shuffle: repartition %d free %s: %w", task.MapIndex, key, err)
 		}
 	}
 	return nil, nil

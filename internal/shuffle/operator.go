@@ -4,7 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"sync/atomic"
 	"time"
 
 	"github.com/faaspipe/faaspipe/internal/bed"
@@ -30,9 +31,11 @@ const (
 // operator registers its map/reduce functions on a platform once and
 // can then run any number of jobs.
 type Operator struct {
-	platform     *faas.Platform
-	store        *objectstore.Service
-	seq          int
+	platform *faas.Platform
+	store    *objectstore.Service
+	// seq allocates job IDs atomically: a session rig shares one
+	// operator across concurrently Submitted jobs.
+	seq          atomic.Int64
 	hierarchical bool
 }
 
@@ -89,10 +92,12 @@ type Spec struct {
 	// Speculation tunes the mitigation when Speculate is set
 	// (zero value: faas defaults).
 	Speculation faas.Speculation
-	// CleanupScratch deletes intermediate partition objects as soon as
-	// they are consumed. Deletes are free on real providers but pay
-	// request latency; the default leaves scratch in place (lifecycle
-	// rules reap it), matching the paper's setup.
+	// CleanupScratch deletes intermediate partition objects once the
+	// consumer's output part is durably written (deferred so that a
+	// MaxRetries re-attempt can still re-fetch everything). Deletes are
+	// free on real providers but pay request latency; the default
+	// leaves scratch in place (lifecycle rules reap it), matching the
+	// paper's setup.
 	CleanupScratch bool
 }
 
@@ -108,7 +113,11 @@ func (s Spec) validate() error {
 	}
 	if s.CleanupScratch && s.Speculate {
 		// A speculative duplicate re-reads partitions its twin may have
-		// already deleted; the combination is not idempotent.
+		// already deleted; even with deletes deferred past the output
+		// write, a losing twin can outlive the winner's cleanup, so the
+		// combination stays rejected. (CleanupScratch with MaxRetries is
+		// fine: deletes only happen after an attempt's output is durable,
+		// and failed attempts delete nothing.)
 		return errors.New("shuffle: CleanupScratch and Speculate are mutually exclusive")
 	}
 	return nil
@@ -143,8 +152,7 @@ func (op *Operator) Sort(p *des.Proc, spec Spec) (Result, error) {
 	if spec.SampleBytes <= 0 {
 		spec.SampleBytes = defaultSampleBytes
 	}
-	op.seq++
-	jobID := fmt.Sprintf("shuffle-%04d", op.seq)
+	jobID := fmt.Sprintf("shuffle-%04d", op.seq.Add(1))
 	client := objectstore.NewClient(op.store)
 
 	head, err := client.Head(p, spec.InputBucket, spec.InputKey)
@@ -253,11 +261,11 @@ func (op *Operator) mapPhase(p *des.Proc, fn string, inputs []any, spec Spec) ([
 	return op.platform.MapSync(p, fn, inputs, opts)
 }
 
-// sampleBoundaries reads the head of the input and derives w-1 sort
-// key boundaries from sample quantiles. Sized inputs return nil
+// sampleBoundaries reads the head of the input and derives w-1 binary
+// sort-key boundaries from sample quantiles. Sized inputs return nil
 // boundaries (timing-only mode splits evenly). Shared by the
 // object-storage and cache operators.
-func sampleBoundaries(p *des.Proc, client *objectstore.Client, spec Spec, size int64, workers int) ([]string, error) {
+func sampleBoundaries(p *des.Proc, client *objectstore.Client, spec Spec, size int64, workers int) ([]Boundary, error) {
 	if workers <= 1 {
 		return nil, nil
 	}
@@ -285,12 +293,14 @@ func sampleBoundaries(p *des.Proc, client *objectstore.Client, spec Spec, size i
 	if len(recs) == 0 {
 		return nil, errors.New("shuffle: empty sample")
 	}
-	keys := make([]string, len(recs))
+	keys := make([]Boundary, len(recs))
 	for i, r := range recs {
-		keys[i] = bed.SortKey(r)
+		keys[i] = Boundary{Key: bed.KeyOf(r), Name: r.Chrom}
 	}
-	sort.Strings(keys)
-	bounds := make([]string, workers-1)
+	slices.SortFunc(keys, func(a, b Boundary) int {
+		return bed.CompareKeyName(a.Key, a.Name, b.Key, b.Name)
+	})
+	bounds := make([]Boundary, workers-1)
 	for i := 1; i < workers; i++ {
 		bounds[i-1] = keys[i*len(keys)/workers]
 	}
@@ -330,10 +340,6 @@ func ProfileOf(cfg objectstore.Config) StoreProfile {
 	}
 }
 
-func partKey(jobID string, m, r int) string {
-	return fmt.Sprintf("%s/m%04d_r%04d", jobID, m, r)
-}
-
 // mapTask is the input of one map-phase activation.
 type mapTask struct {
 	JobID         string
@@ -344,7 +350,7 @@ type mapTask struct {
 	TotalSize     int64
 	Workers       int
 	MapIndex      int
-	Boundaries    []string
+	Boundaries    []Boundary
 	ScratchBucket string
 	PartitionBps  float64
 }
@@ -365,8 +371,8 @@ type reduceTask struct {
 	Cleanup       bool
 }
 
-// mapHandler reads its input slice, partitions records by the sort-key
-// boundaries, and writes one intermediate object per reducer.
+// mapHandler reads its input slice, partitions records by the binary
+// sort-key boundaries, and writes one sorted run per reducer.
 func mapHandler(ctx *faas.Ctx, input any) (any, error) {
 	task, ok := input.(*mapTask)
 	if !ok {
@@ -424,11 +430,12 @@ func mapReal(ctx *faas.Ctx, task *mapTask, raw []byte, prefixByte bool) error {
 }
 
 // partitionRaw splits the lines of raw owned by the slice
-// [offset, offset+length) into one buffer per reducer, routing each
-// record by its sort key against the boundaries. prefixByte reports
-// that raw begins one byte before offset (to decide first-line
-// ownership). Shared by the object-storage and cache operators.
-func partitionRaw(raw []byte, prefixByte bool, offset, length int64, workers int, boundaries []string) ([][]byte, error) {
+// [offset, offset+length) into one sorted run per reducer, routing
+// each record by its binary sort key against the boundaries.
+// prefixByte reports that raw begins one byte before offset (to decide
+// first-line ownership). Shared by the object-storage and cache
+// operators.
+func partitionRaw(raw []byte, prefixByte bool, offset, length int64, workers int, boundaries []Boundary) ([][]byte, error) {
 	// Determine the first line that starts within [offset, offset+length).
 	start := 0
 	if prefixByte {
@@ -437,7 +444,7 @@ func partitionRaw(raw []byte, prefixByte bool, offset, length int64, workers int
 		} else {
 			nl := bytes.IndexByte(raw, '\n')
 			if nl < 0 {
-				return nil, errors.New("no line start in slice")
+				return nil, errNoLineStart
 			}
 			start = nl + 1
 		}
@@ -452,7 +459,8 @@ func partitionRaw(raw []byte, prefixByte bool, offset, length int64, workers int
 	}
 	limit := offset + length
 
-	parts := make([][]byte, workers)
+	builder := newRunBuilder(workers, boundaries)
+	builder.sizeHint(len(raw))
 	pos := start
 	for pos < len(raw) && globalStart(pos) < limit {
 		nl := bytes.IndexByte(raw[pos:], '\n')
@@ -467,14 +475,11 @@ func partitionRaw(raw []byte, prefixByte bool, offset, length int64, workers int
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
-		rec, err := bed.ParseLine(line)
-		if err != nil {
+		if err := builder.Add(line); err != nil {
 			return nil, err
 		}
-		r := partitionIndex(bed.SortKey(rec), boundaries)
-		parts[r] = bed.AppendTSV(parts[r], rec)
 	}
-	return parts, nil
+	return builder.Finish(), nil
 }
 
 // mapSized handles timing-only payloads: partition sizes are the even
@@ -495,24 +500,20 @@ func mapSized(ctx *faas.Ctx, task *mapTask) (any, error) {
 	return nil, nil
 }
 
-// partitionIndex returns the partition for a key given sorted
-// boundaries: index i such that boundaries[i-1] <= key < boundaries[i].
-func partitionIndex(key string, boundaries []string) int {
-	return sort.SearchStrings(boundaries, key+"\x00")
-}
-
-// reduceHandler fetches its partition from every mapper, merges, and
-// writes one globally-ordered output part. It returns the output key.
+// reduceHandler fetches its sorted run from every mapper, streams a
+// k-way merge over them, and writes one globally-ordered output part —
+// no re-parse of full records, no re-sort, no re-serialization. It
+// returns the output key.
 func reduceHandler(ctx *faas.Ctx, input any) (any, error) {
 	task, ok := input.(*reduceTask)
 	if !ok {
 		return nil, fmt.Errorf("shuffle: reduce input %T", input)
 	}
 	var (
-		recs      []bed.Record
-		sizedOnly int64
-		anySized  bool
-		total     int64
+		runs     [][]byte
+		consumed []string
+		anySized bool
+		total    int64
 	)
 	for m := 0; m < task.Workers; m++ {
 		key := partKey(task.JobID, m, task.ReduceIndex)
@@ -521,34 +522,39 @@ func reduceHandler(ctx *faas.Ctx, input any) (any, error) {
 			return nil, fmt.Errorf("shuffle: reduce %d fetch m%d: %w", task.ReduceIndex, m, err)
 		}
 		if task.Cleanup {
-			if err := ctx.Store.Delete(ctx.Proc, task.ScratchBucket, key); err != nil {
-				return nil, fmt.Errorf("shuffle: reduce %d free m%d: %w", task.ReduceIndex, m, err)
-			}
+			consumed = append(consumed, key)
 		}
 		total += pl.Size()
 		if raw, real := pl.Bytes(); real {
-			part, err := bed.Unmarshal(raw)
-			if err != nil {
-				return nil, fmt.Errorf("shuffle: reduce %d parse m%d: %w", task.ReduceIndex, m, err)
-			}
-			recs = append(recs, part...)
+			runs = append(runs, raw)
 		} else {
 			anySized = true
-			sizedOnly += pl.Size()
 		}
 	}
 	ctx.ComputeBytes(total, task.MergeBps)
 
-	outKey := fmt.Sprintf("%spart-%04d", task.OutputPrefix, task.OutputIndex)
+	outKey := outputKey(task.OutputPrefix, task.OutputIndex)
 	var out payload.Payload
 	if anySized {
 		out = payload.Sized(total)
 	} else {
-		bed.Sort(recs)
-		out = payload.RealNoCopy(bed.Marshal(recs))
+		merged, err := mergeRuns(runs)
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: reduce %d merge: %w", task.ReduceIndex, err)
+		}
+		out = payload.RealNoCopy(merged)
 	}
 	if err := ctx.Store.Put(ctx.Proc, task.OutputBucket, outKey, out); err != nil {
 		return nil, fmt.Errorf("shuffle: reduce %d write: %w", task.ReduceIndex, err)
+	}
+	// Scratch deletes are deferred until the output part is durable: a
+	// reducer retried after a transient platform failure (MaxRetries)
+	// must be able to re-fetch every partition, so nothing may be
+	// deleted by an attempt that did not finish.
+	for m, key := range consumed {
+		if err := ctx.Store.Delete(ctx.Proc, task.ScratchBucket, key); err != nil {
+			return nil, fmt.Errorf("shuffle: reduce %d free m%d: %w", task.ReduceIndex, m, err)
+		}
 	}
 	return outKey, nil
 }

@@ -329,17 +329,48 @@ func TestSortResultTimings(t *testing.T) {
 }
 
 func TestPartitionIndex(t *testing.T) {
-	bounds := []string{"b", "d", "f"}
-	cases := map[string]int{
-		"a": 0, "b": 1, "c": 1, "d": 2, "e": 2, "f": 3, "z": 3,
+	boundAt := func(start int64) Boundary {
+		return Boundary{Key: bed.KeyOf(bed.Record{Chrom: "chr1", Start: start, End: start + 1}), Name: "chr1"}
 	}
-	for key, want := range cases {
-		if got := partitionIndex(key, bounds); got != want {
-			t.Errorf("partitionIndex(%q) = %d, want %d", key, got, want)
+	keyAt := func(start int64) bed.Key {
+		return bed.KeyOf(bed.Record{Chrom: "chr1", Start: start, End: start + 1})
+	}
+	bounds := []Boundary{boundAt(20), boundAt(40), boundAt(60)}
+	cases := map[int64]int{
+		10: 0, 20: 1, 30: 1, 40: 2, 50: 2, 60: 3, 99: 3,
+	}
+	for start, want := range cases {
+		if got := partitionIndex(keyAt(start), "chr1", bounds); got != want {
+			t.Errorf("partitionIndex(start=%d) = %d, want %d", start, got, want)
 		}
 	}
-	if got := partitionIndex("anything", nil); got != 0 {
+	if got := partitionIndex(keyAt(5), "chr1", nil); got != 0 {
 		t.Errorf("nil boundaries partition = %d, want 0", got)
+	}
+	// A key equal to a boundary except in End still routes right of it
+	// only when it is strictly greater (End is part of the key).
+	onBoundary := bed.KeyOf(bed.Record{Chrom: "chr1", Start: 20, End: 21})
+	past := bed.KeyOf(bed.Record{Chrom: "chr1", Start: 20, End: 22})
+	before := bed.KeyOf(bed.Record{Chrom: "chr1", Start: 20, End: 20})
+	if got := partitionIndex(onBoundary, "chr1", bounds); got != 1 {
+		t.Errorf("boundary key partition = %d, want 1", got)
+	}
+	if got := partitionIndex(past, "chr1", bounds); got != 1 {
+		t.Errorf("past-boundary key partition = %d, want 1", got)
+	}
+	if got := partitionIndex(before, "chr1", bounds); got != 0 {
+		t.Errorf("pre-boundary key partition = %d, want 0", got)
+	}
+	// Beyond-table scaffolds colliding in the key's 8-byte prefix are
+	// routed by full name: a boundary on the lexically-later scaffold
+	// keeps an earlier-name/later-start record left of it.
+	scafBound := Boundary{
+		Key:  bed.KeyOf(bed.Record{Chrom: "chrUn_KI270303v1", Start: 50, End: 51}),
+		Name: "chrUn_KI270303v1",
+	}
+	earlierName := bed.KeyOf(bed.Record{Chrom: "chrUn_KI270302v1", Start: 5000, End: 5001})
+	if got := partitionIndex(earlierName, "chrUn_KI270302v1", []Boundary{scafBound}); got != 0 {
+		t.Errorf("earlier scaffold routed to %d, want 0 (name must trump start)", got)
 	}
 }
 
@@ -362,6 +393,59 @@ func TestSplitRanges(t *testing.T) {
 	}
 	if ranges[0].n != 4 || ranges[1].n != 3 || ranges[2].n != 3 {
 		t.Fatalf("ranges = %+v, want 4/3/3", ranges)
+	}
+}
+
+// TestConcurrentSortsGetDistinctJobIDs: one operator shared by
+// concurrently running jobs (a session rig's Submit pattern) must
+// allocate distinct job IDs — otherwise their scratch keys collide and
+// records leak across jobs. Job-ID allocation is atomic; the jobs here
+// run interleaved in one sim and both must come out complete and
+// sorted.
+func TestConcurrentSortsGetDistinctJobIDs(t *testing.T) {
+	rig := newRig(t)
+	recsA := bed.Generate(bed.GenConfig{Records: 1200, Seed: 91, Sorted: false})
+	recsB := bed.Generate(bed.GenConfig{Records: 900, Seed: 92, Sorted: false})
+	var sortedA, sortedB []bed.Record
+	var errA, errB error
+	rig.sim.Spawn("setup", func(p *des.Proc) {
+		c := objectstore.NewClient(rig.store)
+		_ = c.CreateBucket(p, "in")
+		_ = c.CreateBucket(p, "out")
+		_ = c.Put(p, "in", "a.bed", payload.RealNoCopy(bed.Marshal(recsA)))
+		_ = c.Put(p, "in", "b.bed", payload.RealNoCopy(bed.Marshal(recsB)))
+	})
+	rig.sim.Spawn("driver-a", func(p *des.Proc) {
+		p.Sleep(50 * time.Millisecond) // let setup's Puts land
+		spec := sortSpec(4)
+		spec.InputKey = "a.bed"
+		spec.OutputPrefix = "sorted/a/"
+		var res Result
+		if res, errA = rig.op.Sort(p, spec); errA == nil {
+			sortedA = rig.fetchSorted(t, p, res.OutputKeys)
+		}
+	})
+	rig.sim.Spawn("driver-b", func(p *des.Proc) {
+		p.Sleep(50 * time.Millisecond)
+		spec := sortSpec(4)
+		spec.InputKey = "b.bed"
+		spec.OutputPrefix = "sorted/b/"
+		var res Result
+		if res, errB = rig.op.Sort(p, spec); errB == nil {
+			sortedB = rig.fetchSorted(t, p, res.OutputKeys)
+		}
+	})
+	if err := rig.sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if errA != nil || errB != nil {
+		t.Fatalf("concurrent sorts failed: %v / %v", errA, errB)
+	}
+	if len(sortedA) != len(recsA) || !bed.IsSorted(sortedA) {
+		t.Fatalf("job A corrupted by concurrent job: %d records", len(sortedA))
+	}
+	if len(sortedB) != len(recsB) || !bed.IsSorted(sortedB) {
+		t.Fatalf("job B corrupted by concurrent job: %d records", len(sortedB))
 	}
 }
 
