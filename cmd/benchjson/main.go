@@ -6,6 +6,13 @@
 // so successive PRs accumulate comparable perf snapshots.
 //
 //	go test -bench . -benchmem ./... | benchjson -issue 3 -out BENCH_3.json
+//
+// With -compare it also diffs the run against a previous trajectory
+// point and exits non-zero when any shared benchmark's ns/op regresses
+// beyond -tolerance — the CI guard that keeps the parse/partition/
+// merge numbers from drifting backwards between PRs:
+//
+//	... | benchjson -issue 4 -out BENCH_4.json -compare BENCH_3.json
 package main
 
 import (
@@ -87,9 +94,60 @@ func parse(lines *bufio.Scanner) (File, error) {
 	return out, lines.Err()
 }
 
+// benchKey identifies a benchmark across trajectory files: package
+// plus name with any -<GOMAXPROCS> suffix stripped, so files recorded
+// on machines with different core counts still match.
+func benchKey(b Benchmark) string {
+	name := b.Name
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return b.Pkg + " " + name
+}
+
+// compareFiles diffs cur against the baseline at prevPath, printing
+// every shared benchmark's delta to stderr and returning the names
+// whose ns/op regressed beyond tol (a fraction: 0.15 = +15%).
+// Benchmarks new to cur (no baseline point) are skipped.
+func compareFiles(prevPath string, cur File, tol float64) ([]string, error) {
+	data, err := os.ReadFile(prevPath)
+	if err != nil {
+		return nil, err
+	}
+	var prev File
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil, fmt.Errorf("%s: %w", prevPath, err)
+	}
+	base := make(map[string]float64, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		base[benchKey(b)] = b.NsPerOp
+	}
+	var regressions []string
+	for _, b := range cur.Benchmarks {
+		p, ok := base[benchKey(b)]
+		if !ok || p <= 0 || b.NsPerOp <= 0 {
+			continue
+		}
+		delta := b.NsPerOp/p - 1
+		mark := ""
+		if delta > tol {
+			mark = "  << REGRESSION"
+			regressions = append(regressions, b.Name)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-45s %14.1f -> %14.1f ns/op (%+6.1f%%)%s\n",
+			b.Name, p, b.NsPerOp, delta*100, mark)
+	}
+	return regressions, nil
+}
+
 func main() {
 	issue := flag.Int("issue", 0, "issue/PR number to stamp into the file")
 	outPath := flag.String("out", "", "output path (default stdout)")
+	compare := flag.String("compare", "", "previous trajectory JSON; exit non-zero on ns/op regressions beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression vs -compare")
+	warnOnly := flag.Bool("warn-only", false, "report -compare regressions loudly without failing")
 	flag.Parse()
 
 	f, err := parse(bufio.NewScanner(os.Stdin))
@@ -110,10 +168,25 @@ func main() {
 	data = append(data, '\n')
 	if *outPath == "" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*outPath, data, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+
+	// The comparison runs after the file is written, so the new
+	// trajectory point survives even a failing diff.
+	if *compare != "" {
+		regressions, err := compareFiles(*compare, f, *tolerance)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: compare: %v\n", err)
+			os.Exit(1)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% vs %s: %s\n",
+				len(regressions), *tolerance*100, *compare, strings.Join(regressions, ", "))
+			if !*warnOnly {
+				os.Exit(1)
+			}
+		}
 	}
 }

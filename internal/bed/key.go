@@ -136,6 +136,30 @@ func CompareKeyName[A, B ChromName](a Key, nameA A, b Key, nameB B) int {
 	return 0
 }
 
+// KeyBytes is the number of bytes in a Key's big-endian digit string:
+// four 8-byte words (Rank, Prefix, Start, End), most significant byte
+// first — the digit alphabet RadixSort walks.
+const KeyBytes = 32
+
+// Digit returns byte i (0 <= i < KeyBytes) of the key's big-endian
+// byte string, the MSD radix sort's i-th digit. Digit order matches
+// CompareKey: bytes 0..7 are Rank, 8..15 Prefix, 16..23 Start, and
+// 24..31 End.
+func (k Key) Digit(i int) byte {
+	var w uint64
+	switch i >> 3 {
+	case 0:
+		w = k.Rank
+	case 1:
+		w = k.Prefix
+	case 2:
+		w = k.Start
+	default:
+		w = k.End
+	}
+	return byte(w >> (56 - 8*(i&7)))
+}
+
 // CompareKey orders keys like Less orders the records they came from:
 // chromosome (rank, then name prefix), then start, then end. It
 // returns -1, 0, or +1. See the Key docs for the name-prefix caveat —

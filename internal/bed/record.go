@@ -98,35 +98,41 @@ func Less(a, b Record) bool {
 	return a.End < b.End
 }
 
-// keyedRecord pairs a record with its precomputed sort key, so a sort
-// never re-parses chromosome names inside the comparator.
-type keyedRecord struct {
-	key Key
-	rec Record
-}
-
-func compareKeyed(a, b keyedRecord) int {
-	// CompareKeyName, not CompareKey: beyond-table names colliding in
-	// the key's 8-byte prefix must be resolved by full name before
-	// start/end, exactly as Less resolves them.
-	return CompareKeyName(a.key, a.rec.Chrom, b.key, b.rec.Chrom)
-}
-
 // Sort sorts records in place in genome order. Keys are computed once
-// per record up front (one chromosome-name parse each) instead of
-// twice per comparison inside the sort loop.
+// per record up front (one chromosome-name parse each), then an MSD
+// radix sort over the packed key bytes orders a KeyRef index — no
+// comparator runs on the radix path. Ties (fully-equal keys, and
+// beyond-table names colliding in the key's 8-byte prefix, which must
+// be resolved by full name before start/end exactly as Less resolves
+// them) go through CompareKeyName with input order as the final
+// tie-break, so Sort is stable.
 func Sort(recs []Record) {
 	if len(recs) < 2 {
 		return
 	}
-	keyed := make([]keyedRecord, len(recs))
+	if len(recs) > 1<<31-1 {
+		// KeyRef indexes are int32; a slice this large cannot occur in
+		// a per-worker partition, but stay correct if it ever does.
+		slices.SortStableFunc(recs, func(a, b Record) int {
+			return CompareKeyName(KeyOf(a), a.Chrom, KeyOf(b), b.Chrom)
+		})
+		return
+	}
+	refs := make([]KeyRef, len(recs))
 	for i, r := range recs {
-		keyed[i] = keyedRecord{key: KeyOf(r), rec: r}
+		refs[i] = KeyRef{Key: KeyOf(r), Idx: int32(i)}
 	}
-	slices.SortFunc(keyed, compareKeyed)
-	for i := range keyed {
-		recs[i] = keyed[i].rec
+	RadixSort(refs, func(a, b KeyRef) int {
+		if c := CompareKeyName(a.Key, recs[a.Idx].Chrom, b.Key, recs[b.Idx].Chrom); c != 0 {
+			return c
+		}
+		return int(a.Idx) - int(b.Idx)
+	})
+	sorted := make([]Record, len(recs))
+	for i, kr := range refs {
+		sorted[i] = recs[kr.Idx]
 	}
+	copy(recs, sorted)
 }
 
 // IsSorted reports whether records are in genome order.

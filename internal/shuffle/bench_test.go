@@ -1,6 +1,7 @@
 package shuffle
 
 import (
+	"fmt"
 	"sort"
 	"testing"
 
@@ -118,6 +119,123 @@ func BenchmarkReduceMerge(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := mergeRuns(runs); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionSort is the ISSUE 4 headline: the mapper's
+// per-partition sort alone — runPart.finish on one unsorted partition
+// — at sizes where the partition has outgrown cache. The Legacy
+// variant is the PR 3 body (stable comparison sort over the ref index,
+// kept in-tree as legacySortRun) on the identical input. Both pay the
+// same buffer-ownership copy-in, so the delta is the sort itself.
+func BenchmarkPartitionSort(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 18} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			recs := bed.Generate(bed.GenConfig{Records: n, Seed: 19, Sorted: false})
+			pristine := buildRunPart(recs)
+			b.SetBytes(int64(len(pristine.buf)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bufBox := partBufPool.get(len(pristine.buf))
+				refsBox := lineRefPool.get(len(pristine.refs))
+				p := runPart{
+					buf:     append(*bufBox, pristine.buf...),
+					refs:    append(*refsBox, pristine.refs...),
+					bufBox:  bufBox,
+					refsBox: refsBox,
+				}
+				if out := p.finish(); len(out) != len(pristine.buf) {
+					b.Fatal("short run")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPartitionSortLegacy(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 18} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			recs := bed.Generate(bed.GenConfig{Records: n, Seed: 19, Sorted: false})
+			pristine := buildRunPart(recs)
+			b.SetBytes(int64(len(pristine.buf)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := runPart{
+					buf:  append(make([]byte, 0, len(pristine.buf)), pristine.buf...),
+					refs: append(make([]lineRef, 0, len(pristine.refs)), pristine.refs...),
+				}
+				if out := legacySortRun(&p); len(out) != len(pristine.buf) {
+					b.Fatal("short run")
+				}
+			}
+		})
+	}
+}
+
+// benchRepartitionInput builds what one hierarchical round-2
+// repartitioner gathers: g sorted runs (round-1 outputs) plus the fine
+// boundaries for its k reducers.
+func benchRepartitionInput() ([][]byte, []Boundary, int64) {
+	recs := bed.Generate(bed.GenConfig{Records: 40000, Seed: 23, Sorted: false})
+	const g, k = 4, 8
+	lists := make([][]bed.Record, g)
+	for i, r := range recs {
+		lists[i%g] = append(lists[i%g], r)
+	}
+	runs := make([][]byte, g)
+	var total int64
+	for i, rl := range lists {
+		bed.Sort(rl)
+		runs[i] = bed.Marshal(rl)
+		total += int64(len(runs[i]))
+	}
+	return runs, benchBounds(recs, k), total
+}
+
+func BenchmarkRepartition(b *testing.B) {
+	runs, bounds, total := benchRepartitionInput()
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mergeSplit(runs, 8, bounds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepartitionLegacy is the PR 3 round-2 repartition body:
+// binary-search routing of every line, then each output partition
+// rebuilt as a run by the per-partition sort — discarding the
+// sortedness round 1 already paid for.
+func BenchmarkRepartitionLegacy(b *testing.B) {
+	runs, bounds, total := benchRepartitionInput()
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts := make([]runPart, 8)
+		for _, run := range runs {
+			if err := forEachLine(run, func(line []byte) error {
+				key, err := bed.KeyOfLine(line)
+				if err != nil {
+					return err
+				}
+				p := &parts[partitionIndex(key, chromOf(line), bounds)]
+				off := len(p.buf)
+				p.buf = append(p.buf, line...)
+				p.buf = append(p.buf, '\n')
+				p.refs = append(p.refs, lineRef{key: key, off: int32(off), len: int32(len(p.buf) - off)})
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for r := range parts {
+			_ = legacySortRun(&parts[r])
 		}
 	}
 }

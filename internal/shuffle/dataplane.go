@@ -12,11 +12,49 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"slices"
 	"sort"
 	"strconv"
+	"sync"
 
 	"github.com/faaspipe/faaspipe/internal/bed"
+)
+
+// The data plane recycles its per-partition scratch across activations
+// instead of leaving it to the GC: partition byte buffers, lineRef
+// indexes, and the radix sort's KeyRef scratch all cycle through these
+// pools. Only scratch whose lifetime ends inside finish() is pooled —
+// run buffers that escape into payloads never are.
+
+// slicePool recycles capacity-bearing slices through boxed pointers:
+// the *[]T box travels with its slice, so neither get nor put
+// allocates in steady state (a Put of the bare slice header would box
+// it on every call).
+type slicePool[T any] struct{ p sync.Pool }
+
+func (s *slicePool[T]) get(capHint int) *[]T {
+	if v := s.p.Get(); v != nil {
+		b := v.(*[]T)
+		if cap(*b) < capHint {
+			// A recycled slice below the hint would regrow through
+			// append doublings — the cost sizeHint exists to avoid;
+			// keep the box, replace the array.
+			*b = make([]T, 0, capHint)
+		}
+		return b
+	}
+	sl := make([]T, 0, capHint)
+	return &sl
+}
+
+func (s *slicePool[T]) put(b *[]T) {
+	*b = (*b)[:0]
+	s.p.Put(b)
+}
+
+var (
+	partBufPool slicePool[byte]
+	lineRefPool slicePool[lineRef]
+	keyRefPool  slicePool[bed.KeyRef]
 )
 
 // Boundary is one partition boundary: a binary key plus the full
@@ -69,10 +107,14 @@ type lineRef struct {
 }
 
 // runPart accumulates one reducer's partition: encoded lines plus a
-// key index over them.
+// key index over them. bufBox/refsBox are the pool boxes backing the
+// slices when grow drew them from the pools (nil for caller-owned
+// memory, e.g. in tests); recycle returns them.
 type runPart struct {
-	buf  []byte
-	refs []lineRef
+	buf     []byte
+	refs    []lineRef
+	bufBox  *[]byte
+	refsBox *[]lineRef
 }
 
 // runBuilder routes records into per-reducer partitions and finishes
@@ -105,17 +147,20 @@ func (b *runBuilder) place(key bed.Key, off int, p *runPart) error {
 		// corrupting the run index.
 		return errPartitionTooLarge
 	}
-	if p.refs == nil && b.partCap > 0 {
-		p.refs = make([]lineRef, 0, b.partCap/32) // bedMethyl lines run ~48 bytes
-	}
 	p.refs = append(p.refs, lineRef{key: key, off: int32(off), len: int32(len(p.buf) - off)})
 	return nil
 }
 
-// grow pre-sizes a partition buffer on first touch.
+// grow readies a partition's buffers on first touch, recycling pooled
+// scratch before allocating fresh.
 func (b *runBuilder) grow(p *runPart) {
-	if p.buf == nil && b.partCap > 0 {
-		p.buf = make([]byte, 0, b.partCap)
+	if p.bufBox == nil {
+		p.bufBox = partBufPool.get(b.partCap)
+		p.buf = *p.bufBox
+	}
+	if p.refsBox == nil {
+		p.refsBox = lineRefPool.get(b.partCap / 32) // bedMethyl lines run ~48 bytes
+		p.refs = *p.refsBox
 	}
 }
 
@@ -134,22 +179,6 @@ func (b *runBuilder) Add(line []byte) error {
 	return b.place(key, off, p)
 }
 
-// AddEncoded routes an already-normalized TSV line (a mapper's own
-// output, re-partitioned by the hierarchical round 2) by parsing only
-// its key columns and copying the bytes verbatim.
-func (b *runBuilder) AddEncoded(line []byte) error {
-	key, err := bed.KeyOfLine(line)
-	if err != nil {
-		return err
-	}
-	p := &b.parts[partitionIndex(key, chromOf(line), b.bounds)]
-	b.grow(p)
-	off := len(p.buf)
-	p.buf = append(p.buf, line...)
-	p.buf = append(p.buf, '\n')
-	return b.place(key, off, p)
-}
-
 // Finish sorts every partition into a sorted run and returns the run
 // buffers, one per reducer (nil for empty partitions).
 func (b *runBuilder) Finish() [][]byte {
@@ -161,25 +190,68 @@ func (b *runBuilder) Finish() [][]byte {
 }
 
 func (p *runPart) finish() []byte {
-	cmp := func(a, b lineRef) int {
-		return compareLineKeys(a.key, p.line(a), b.key, p.line(b))
-	}
 	sorted := true
 	for i := 1; i < len(p.refs); i++ {
-		if cmp(p.refs[i-1], p.refs[i]) > 0 {
+		a, b := p.refs[i-1], p.refs[i]
+		if compareLineKeys(a.key, p.line(a), b.key, p.line(b)) > 0 {
 			sorted = false
 			break
 		}
 	}
 	if sorted { // already a run (common for pre-sorted input): no copy
-		return p.buf
+		out := p.buf
+		if p.bufBox != nil && cap(out) > len(out)+len(out)/2 && cap(out)-len(out) > 64<<10 {
+			// A recycled buffer can be arbitrarily larger than the run
+			// it now carries (a small job after a large one); copy out
+			// rather than let the escaping payload pin the whole pooled
+			// backing array, and recycle the big buffer.
+			out = append(make([]byte, 0, len(out)), out...)
+			p.recycle(true)
+		} else {
+			p.recycle(false)
+		}
+		return out
 	}
-	slices.SortStableFunc(p.refs, cmp)
+	// MSD radix sort over the packed key bytes: permute a KeyRef view
+	// of the index, then copy the lines out in key order. Idx is the
+	// append position, so the tie-break reproduces the byte order a
+	// stable comparison sort over input order would emit.
+	krsBox := keyRefPool.get(len(p.refs))
+	krs := (*krsBox)[:len(p.refs)] // get guarantees the capacity
+	for i, r := range p.refs {
+		krs[i] = bed.KeyRef{Key: r.key, Idx: int32(i)}
+	}
+	bed.RadixSort(krs, func(a, b bed.KeyRef) int {
+		ra, rb := p.refs[a.Idx], p.refs[b.Idx]
+		if c := compareLineKeys(a.Key, p.line(ra), b.Key, p.line(rb)); c != 0 {
+			return c
+		}
+		return int(a.Idx) - int(b.Idx)
+	})
 	dst := make([]byte, 0, len(p.buf))
-	for _, ref := range p.refs {
+	for _, kr := range krs {
+		ref := p.refs[kr.Idx]
 		dst = append(dst, p.buf[ref.off:ref.off+ref.len]...)
 	}
+	*krsBox = krs
+	keyRefPool.put(krsBox)
+	p.recycle(true)
 	return dst
+}
+
+// recycle returns the partition's pooled scratch; withBuf is set when
+// the byte buffer did not escape as the returned run (a buffer that
+// did escape keeps its memory and its box is simply dropped).
+func (p *runPart) recycle(withBuf bool) {
+	if p.refsBox != nil {
+		*p.refsBox = p.refs
+		lineRefPool.put(p.refsBox)
+	}
+	if withBuf && p.bufBox != nil {
+		*p.bufBox = p.buf
+		partBufPool.put(p.bufBox)
+	}
+	p.buf, p.refs, p.bufBox, p.refsBox = nil, nil, nil, nil
 }
 
 // line slices a ref's encoded line out of the partition buffer.
@@ -254,11 +326,10 @@ func cursorLess(a, b *runCursor) bool {
 	return a.idx < b.idx
 }
 
-// mergeRuns streams k sorted runs into one globally sorted TSV buffer
-// via a binary min-heap of per-run cursors, copying each winning line
-// verbatim into the output. Peak memory is the runs plus one output
-// buffer — no []bed.Record, no re-serialization, no full re-sort.
-func mergeRuns(runs [][]byte) ([]byte, error) {
+// openRuns builds a cursor min-heap over the runs, returning the heap
+// and the total input size. Exhausted-on-arrival runs (empty or
+// blank-only) never enter the heap.
+func openRuns(runs [][]byte) ([]*runCursor, int, error) {
 	total := 0
 	cursors := make([]runCursor, len(runs))
 	h := make([]*runCursor, 0, len(runs))
@@ -267,7 +338,7 @@ func mergeRuns(runs [][]byte) ([]byte, error) {
 		c := &cursors[i]
 		c.data, c.idx = run, i
 		if err := c.advance(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if c.live {
 			h = append(h, c)
@@ -275,6 +346,18 @@ func mergeRuns(runs [][]byte) ([]byte, error) {
 	}
 	for i := len(h)/2 - 1; i >= 0; i-- {
 		siftDown(h, i)
+	}
+	return h, total, nil
+}
+
+// mergeRuns streams k sorted runs into one globally sorted TSV buffer
+// via a binary min-heap of per-run cursors, copying each winning line
+// verbatim into the output. Peak memory is the runs plus one output
+// buffer — no []bed.Record, no re-serialization, no full re-sort.
+func mergeRuns(runs [][]byte) ([]byte, error) {
+	h, total, err := openRuns(runs)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]byte, 0, total)
 	for len(h) > 0 {
@@ -293,6 +376,52 @@ func mergeRuns(runs [][]byte) ([]byte, error) {
 		}
 	}
 	return out, nil
+}
+
+// mergeSplit streams the same k-way cursor merge, but routes each
+// winning line to its boundary partition instead of one output: the
+// hierarchical round-2 repartitioner's body. Because the merge emits
+// lines in globally ascending key order, every partition is a sorted
+// run by construction — no per-partition sort ever runs — and the
+// routing cursor only moves right, so boundary search is O(1)
+// amortized instead of a binary search per line. Partitions that
+// receive nothing stay nil, matching runBuilder.Finish.
+func mergeSplit(runs [][]byte, workers int, bounds []Boundary) ([][]byte, error) {
+	h, total, err := openRuns(runs)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]byte, workers)
+	hint := 0
+	if workers > 0 {
+		hint = total/workers + total/(4*workers) // +25% for boundary skew
+	}
+	cur := 0
+	for len(h) > 0 {
+		c := h[0]
+		// Advance past every boundary <= the emitted key (keys equal to
+		// a boundary route right, as in partitionIndex).
+		for cur < len(bounds) &&
+			bed.CompareKeyName(bounds[cur].Key, bounds[cur].Name, c.key, chromOf(c.line)) <= 0 {
+			cur++
+		}
+		if parts[cur] == nil {
+			parts[cur] = make([]byte, 0, hint)
+		}
+		parts[cur] = append(parts[cur], c.line...)
+		parts[cur] = append(parts[cur], '\n')
+		if err := c.advance(); err != nil {
+			return nil, err
+		}
+		if !c.live {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		if len(h) > 0 {
+			siftDown(h, 0)
+		}
+	}
+	return parts, nil
 }
 
 func siftDown(h []*runCursor, i int) {
@@ -319,14 +448,34 @@ var (
 )
 
 // appendIndex4 appends n zero-padded to four digits (the %04d the
-// data plane's key formats use), growing past four digits like fmt
-// would.
+// data plane's key formats use). Indices past 9999 widen to 8 (then
+// 19) zero-padded digits behind a prefix letter that sorts after every
+// digit byte, so generated names keep sorting in index order
+// lexicographically — SortHierarchical's sort.Strings(OutputKeys)
+// relies on that — where growing digit count like fmt's %04d does
+// would interleave ("part-10000" < "part-9999" in byte order).
 func appendIndex4(b []byte, n int) []byte {
-	if n < 0 || n > 9999 {
+	switch {
+	case n < 0:
+		// Indices are never negative; keep fmt's rendering if a bug
+		// ever produces one.
 		return strconv.AppendInt(b, int64(n), 10)
+	case n <= 9999:
+		return append(b,
+			byte('0'+n/1000), byte('0'+n/100%10), byte('0'+n/10%10), byte('0'+n%10))
+	case n <= 99999999:
+		b = append(b, 'x')
+		for shift := 10000000; shift > 0; shift /= 10 {
+			b = append(b, byte('0'+n/shift%10))
+		}
+		return b
+	default:
+		b = append(b, 'y')
+		for shift := int64(1000000000000000000); shift > 0; shift /= 10 {
+			b = append(b, byte('0'+int64(n)/shift%10))
+		}
+		return b
 	}
-	return append(b,
-		byte('0'+n/1000), byte('0'+n/100%10), byte('0'+n/10%10), byte('0'+n%10))
 }
 
 // partKey names the intermediate object mapper m writes for reducer r.

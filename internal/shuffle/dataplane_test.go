@@ -3,6 +3,8 @@ package shuffle
 import (
 	"bytes"
 	"fmt"
+	"slices"
+	"sort"
 	"testing"
 
 	"github.com/faaspipe/faaspipe/internal/bed"
@@ -117,7 +119,7 @@ func TestMergeRunsRejectsCorruptLine(t *testing.T) {
 }
 
 func TestPartKeyMatchesLegacyFormat(t *testing.T) {
-	for _, c := range []struct{ m, r int }{{0, 0}, {3, 7}, {42, 9999}, {10000, 123456}} {
+	for _, c := range []struct{ m, r int }{{0, 0}, {3, 7}, {42, 9999}} {
 		want := fmt.Sprintf("job-1/m%04d_r%04d", c.m, c.r)
 		if got := partKey("job-1", c.m, c.r); got != want {
 			t.Errorf("partKey(%d, %d) = %q, want %q", c.m, c.r, got, want)
@@ -126,10 +128,283 @@ func TestPartKeyMatchesLegacyFormat(t *testing.T) {
 }
 
 func TestOutputKeyMatchesLegacyFormat(t *testing.T) {
-	for _, idx := range []int{0, 7, 321, 9999, 12345} {
+	for _, idx := range []int{0, 7, 321, 9999} {
 		want := fmt.Sprintf("sorted/part-%04d", idx)
 		if got := outputKey("sorted/", idx); got != want {
 			t.Errorf("outputKey(%d) = %q, want %q", idx, got, want)
+		}
+	}
+}
+
+// TestOutputKeyOrderSurvivesWideIndices: SortHierarchical recovers
+// global part order with sort.Strings(OutputKeys), which silently
+// broke past index 9999 when the names grew digits like %04d does
+// ("part-10000" < "part-9999" in byte order). The widened encoding
+// must keep lexicographic order == numeric order across every width
+// transition.
+func TestOutputKeyOrderSurvivesWideIndices(t *testing.T) {
+	idxs := []int{
+		0, 1, 9998, 9999, // legacy 4-digit band
+		10000, 10001, 99999, 123456, 99999999, // 8-digit band
+		100000000, 100000001, 1 << 40, // 19-digit band
+	}
+	keys := make([]string, len(idxs))
+	for i, idx := range idxs {
+		keys[i] = outputKey("sorted/", idx)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("output keys do not sort in index order:\n%v", keys)
+	}
+	// The legacy 4-digit band is byte-for-byte what fmt produced.
+	if got, want := keys[3], "sorted/part-9999"; got != want {
+		t.Fatalf("legacy band changed: %q, want %q", got, want)
+	}
+	// Distinct indices must yield distinct keys even across bands.
+	seen := map[string]bool{}
+	for i, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %q for index %d", k, idxs[i])
+		}
+		seen[k] = true
+	}
+}
+
+// mergeRuns edge cases: the shapes a real merge can see around run
+// exhaustion and degenerate inputs.
+
+func TestMergeRunsNoRuns(t *testing.T) {
+	out, err := mergeRuns(nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("mergeRuns(nil) = %q, %v", out, err)
+	}
+	out, err = mergeRuns([][]byte{nil, {}, []byte("\n \n")})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("merge of empty/blank runs = %q, %v", out, err)
+	}
+}
+
+func TestMergeRunsSingleRun(t *testing.T) {
+	recs := bed.Generate(bed.GenConfig{Records: 100, Seed: 75, Sorted: true})
+	run := bed.Marshal(recs)
+	out, err := mergeRuns([][]byte{run})
+	if err != nil {
+		t.Fatalf("mergeRuns: %v", err)
+	}
+	if !bytes.Equal(out, run) {
+		t.Fatal("single sorted run should round-trip byte-identically")
+	}
+}
+
+func TestMergeRunsAllEqualKeys(t *testing.T) {
+	// Every record carries the same key; the heap must fall back to
+	// the run-index tie-break, so the merge concatenates the runs in
+	// index order deterministically.
+	line := func(tag string) []byte {
+		r := bed.Record{Chrom: "chr3", Start: 50, End: 51, Name: tag,
+			Score: 1, Strand: '+', Coverage: 1, MethPct: 10}
+		return bed.AppendTSV(nil, r)
+	}
+	runs := [][]byte{
+		append(append([]byte{}, line("a")...), line("b")...),
+		append(append([]byte{}, line("c")...), line("d")...),
+		line("e"),
+	}
+	out, err := mergeRuns(runs)
+	if err != nil {
+		t.Fatalf("mergeRuns: %v", err)
+	}
+	want := bytes.Join([][]byte{runs[0], runs[1], runs[2]}, nil)
+	if !bytes.Equal(out, want) {
+		t.Fatalf("equal-key merge is not run-index order:\n got %q\nwant %q", out, want)
+	}
+}
+
+func TestMergeRunsTrailingUnterminatedLine(t *testing.T) {
+	a := bed.Record{Chrom: "chr1", Start: 1, End: 2, Name: ".", Score: 1,
+		Strand: '+', Coverage: 1, MethPct: 5}
+	b := bed.Record{Chrom: "chr1", Start: 9, End: 10, Name: ".", Score: 1,
+		Strand: '-', Coverage: 1, MethPct: 6}
+	run := bed.AppendTSV(bed.AppendTSV(nil, a), b)
+	run = run[:len(run)-1] // strip the final newline
+	out, err := mergeRuns([][]byte{run})
+	if err != nil {
+		t.Fatalf("mergeRuns: %v", err)
+	}
+	if want := append(append([]byte{}, run...), '\n'); !bytes.Equal(out, want) {
+		t.Fatalf("unterminated final line mishandled:\n got %q\nwant %q", out, want)
+	}
+}
+
+func TestMergeRunsCursorExhaustsMidMerge(t *testing.T) {
+	// Run 0 exhausts while runs 1 and 2 still hold records: the heap
+	// must drop the dead cursor and keep merging the remainder.
+	mk := func(starts ...int64) []byte {
+		var out []byte
+		for _, s := range starts {
+			out = bed.AppendTSV(out, bed.Record{Chrom: "chr2", Start: s, End: s + 1,
+				Name: ".", Score: 1, Strand: '+', Coverage: 1, MethPct: 50})
+		}
+		return out
+	}
+	runs := [][]byte{mk(10, 11), mk(5, 20, 40), mk(1, 30, 50, 60)}
+	out, err := mergeRuns(runs)
+	if err != nil {
+		t.Fatalf("mergeRuns: %v", err)
+	}
+	want := mk(1, 5, 10, 11, 20, 30, 40, 50, 60)
+	if !bytes.Equal(out, want) {
+		t.Fatalf("mid-merge exhaustion mishandled:\n got %q\nwant %q", out, want)
+	}
+}
+
+// legacySortRun is the PR 3 runPart.finish body — stable comparison
+// sort over the ref index, then copy-out — kept as the oracle the
+// radix path must reproduce byte for byte, and as the benchmark
+// baseline.
+func legacySortRun(p *runPart) []byte {
+	cmp := func(a, b lineRef) int {
+		return compareLineKeys(a.key, p.line(a), b.key, p.line(b))
+	}
+	slices.SortStableFunc(p.refs, cmp)
+	dst := make([]byte, 0, len(p.buf))
+	for _, ref := range p.refs {
+		dst = append(dst, p.buf[ref.off:ref.off+ref.len]...)
+	}
+	return dst
+}
+
+// buildRunPart encodes records into one partition buffer + ref index,
+// exactly as runBuilder.Add lays them out (but without pooled scratch,
+// so tests and benchmarks own the memory).
+func buildRunPart(recs []bed.Record) runPart {
+	var p runPart
+	for _, r := range recs {
+		off := len(p.buf)
+		p.buf = bed.AppendTSV(p.buf, r)
+		p.refs = append(p.refs, lineRef{key: bed.KeyOf(r), off: int32(off), len: int32(len(p.buf) - off)})
+	}
+	return p
+}
+
+// adversarialRecords mixes generated records with the shapes that
+// stress the radix sort's fallbacks: beyond-table scaffolds sharing
+// 8-byte name prefixes, duplicate keys with distinct payloads (where
+// only input-order stability keeps bytes identical), and names shorter
+// than the packed prefix.
+func adversarialRecords(seed int64, n int) []bed.Record {
+	recs := bed.Generate(bed.GenConfig{Records: n, Seed: seed, Sorted: false})
+	base := bed.Record{Name: ".", Score: 1, Strand: '+', Coverage: 1, MethPct: 50}
+	for i := 0; i < n/4; i++ {
+		r := base
+		switch i % 5 {
+		case 0:
+			r.Chrom = "chrUn_KI270302v1"
+		case 1:
+			r.Chrom = "chrUn_KI270303v1" // collides with case 0 in the 8-byte prefix
+		case 2:
+			r.Chrom = "chrUn_K" // shorter than the packed prefix
+		case 3:
+			r.Chrom = "chr300" // numeric beyond-table rank, zero prefix
+		default:
+			r.Chrom = "chr9"
+		}
+		r.Start = int64(1000 + (i*37)%257) // plenty of duplicate intervals
+		r.End = r.Start + 1
+		r.MethPct = i % 100 // duplicates differ in payload bytes only
+		recs = append(recs, r)
+	}
+	// Deterministic shuffle so duplicates interleave across the slice.
+	for i := len(recs) - 1; i > 0; i-- {
+		j := (i*2654435761 + int(seed)) % (i + 1)
+		if j < 0 {
+			j += i + 1
+		}
+		recs[i], recs[j] = recs[j], recs[i]
+	}
+	return recs
+}
+
+// TestPropertyFinishMatchesStableSort: the ISSUE 4 differential — the
+// radix finish must emit byte-identical runs to the stable comparison
+// sort it replaced, on random records, adversarial shared-prefix
+// names, and duplicate keys.
+func TestPropertyFinishMatchesStableSort(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		recs := adversarialRecords(seed, 2000)
+		oracle := buildRunPart(recs)
+		want := legacySortRun(&oracle)
+		radix := buildRunPart(recs)
+		got := (&radix).finish()
+		if !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: radix finish diverges from stable comparison sort", seed)
+		}
+	}
+}
+
+// TestMergeSplitMatchesRouteAndSort: the merge-split repartitioner
+// must produce exactly what routing every line and stable-sorting each
+// partition produced in PR 3 — including keys equal to a boundary
+// routing right, empty partitions staying nil, and inputs arriving as
+// multiple overlapping runs.
+func TestMergeSplitMatchesRouteAndSort(t *testing.T) {
+	recs := adversarialRecords(99, 3000)
+	const g, k = 3, 5
+	bounds := benchBounds(recs, k)
+	// Inject exact duplicates of every boundary so the
+	// equal-routes-right rule is exercised for real, not just when the
+	// sampled boundaries happen to recur in the input.
+	invOrder := func(v uint64) int64 { return int64(v ^ 1<<63) }
+	for _, bd := range bounds {
+		recs = append(recs, bed.Record{
+			Chrom: bd.Name, Start: invOrder(bd.Key.Start), End: invOrder(bd.Key.End),
+			Name: ".", Score: 1, Strand: '+', Coverage: 1, MethPct: 42,
+		})
+	}
+	lists := make([][]bed.Record, g)
+	for i, r := range recs {
+		lists[i%g] = append(lists[i%g], r)
+	}
+	runs := make([][]byte, g)
+	for i, rl := range lists {
+		bed.Sort(rl)
+		runs[i] = bed.Marshal(rl)
+	}
+	got, err := mergeSplit(runs, k, bounds)
+	if err != nil {
+		t.Fatalf("mergeSplit: %v", err)
+	}
+	// Oracle: route each line by binary search, then stable-sort each
+	// partition — the PR 3 repartition body (AddEncoded stored each
+	// line's trailing newline inside the ref, so the copy-out already
+	// emits terminated lines).
+	oracle := make([]runPart, k)
+	for _, run := range runs {
+		if err := forEachLine(run, func(line []byte) error {
+			key, err := bed.KeyOfLine(line)
+			if err != nil {
+				return err
+			}
+			p := &oracle[partitionIndex(key, chromOf(line), bounds)]
+			off := len(p.buf)
+			p.buf = append(p.buf, line...)
+			p.buf = append(p.buf, '\n')
+			p.refs = append(p.refs, lineRef{key: key, off: int32(off), len: int32(len(p.buf) - off)})
+			return nil
+		}); err != nil {
+			t.Fatalf("oracle routing: %v", err)
+		}
+	}
+	for r := 0; r < k; r++ {
+		var want []byte
+		if len(oracle[r].refs) > 0 {
+			want = legacySortRun(&oracle[r])
+		}
+		if want == nil && len(got[r]) != 0 {
+			t.Fatalf("partition %d: want empty, got %d bytes", r, len(got[r]))
+		}
+		if !bytes.Equal(got[r], want) {
+			t.Fatalf("partition %d: merge-split diverges from route-and-sort (%d vs %d bytes)",
+				r, len(got[r]), len(want))
 		}
 	}
 }

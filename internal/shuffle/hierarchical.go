@@ -201,7 +201,7 @@ func (op *Operator) SortHierarchical(p *des.Proc, spec HierSpec) (HierResult, er
 				Workers:       k,
 				MapIndex:      j,
 				Boundaries:    fineFor(g),
-				PartitionBps:  spec.PartitionBps,
+				MergeBps:      spec.MergeBps,
 				Cleanup:       spec.CleanupScratch,
 			})
 		}
@@ -252,26 +252,27 @@ type repartitionTask struct {
 	Workers       int
 	MapIndex      int
 	Boundaries    []Boundary
-	PartitionBps  float64
+	MergeBps      float64
 	Cleanup       bool
 }
 
-// repartitionHandler gathers its source objects, splits their
-// already-normalized lines by the (fine) boundaries — parsing only the
-// key columns, never materializing records — and writes one sorted run
-// per reducer: round 1's mapHandler generalized from "a byte range of
-// one object" to "a list of whole objects".
+// repartitionHandler gathers its source objects — round-1 partitions,
+// which are already sorted runs — and streams a k-way cursor merge
+// over them, routing each line to its (fine) boundary partition as it
+// is emitted: merge order makes every output partition a sorted run by
+// construction, so round 2 re-sorts nothing. (The predecessor routed
+// lines one at a time and rebuilt each partition as a run via a
+// per-partition sort, discarding the round-1 sortedness it had already
+// paid for.) Only the key columns of each line are ever parsed; bytes
+// are copied verbatim.
 func repartitionHandler(ctx *faas.Ctx, input any) (any, error) {
 	task, ok := input.(*repartitionTask)
 	if !ok {
 		return nil, fmt.Errorf("shuffle: repartition input %T", input)
 	}
-	builder := newRunBuilder(task.Workers, task.Boundaries)
 	var (
 		consumed []string
-		raws     [][]byte
-		rawKeys  []string
-		rawBytes int
+		runs     [][]byte
 		total    int64
 		anySized bool
 	)
@@ -285,20 +286,12 @@ func repartitionHandler(ctx *faas.Ctx, input any) (any, error) {
 		}
 		total += pl.Size()
 		if raw, real := pl.Bytes(); real {
-			raws = append(raws, raw)
-			rawKeys = append(rawKeys, key)
-			rawBytes += len(raw)
+			runs = append(runs, raw)
 		} else {
 			anySized = true
 		}
 	}
-	builder.sizeHint(rawBytes)
-	for i, raw := range raws {
-		if err := forEachLine(raw, builder.AddEncoded); err != nil {
-			return nil, fmt.Errorf("shuffle: repartition %d parse %s: %w", task.MapIndex, rawKeys[i], err)
-		}
-	}
-	ctx.ComputeBytes(total, task.PartitionBps)
+	ctx.ComputeBytes(total, task.MergeBps)
 
 	if anySized {
 		// Sized mode: even split of the gathered volume.
@@ -315,7 +308,10 @@ func repartitionHandler(ctx *faas.Ctx, input any) (any, error) {
 			}
 		}
 	} else {
-		parts := builder.Finish()
+		parts, err := mergeSplit(runs, task.Workers, task.Boundaries)
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: repartition %d merge: %w", task.MapIndex, err)
+		}
 		for r := 0; r < task.Workers; r++ {
 			if err := ctx.Store.Put(ctx.Proc, task.ScratchBucket,
 				partKey(task.JobID, task.MapIndex, r), payload.RealNoCopy(parts[r])); err != nil {
@@ -360,10 +356,12 @@ func PredictHierarchical(w, g int, in PlanInput, sp StoreProfile) Plan {
 	ioR1 := perWorker/rate + perWorker/rate + reqR1 + lat
 	cpuR1 := perWorker / in.PartitionBps
 
-	// Round 2a: gather g objects, write k partitions.
+	// Round 2a: gather g sorted runs, merge-split into k partitions.
+	// The repartitioner is a cursor merge (it re-sorts nothing), so its
+	// CPU leg runs at the merge rate, not the parse+sort partition rate.
 	reqR2a := math.Max((fg+k)*lat, (fw*fg+fw*k)/sp.ReadOpsPerSec)
 	ioR2a := perWorker/rate + perWorker/rate + reqR2a
-	cpuR2a := perWorker / in.PartitionBps
+	cpuR2a := perWorker / in.MergeBps
 
 	// Round 2b: gather k partitions, merge, write one output.
 	reqR2b := math.Max(k*lat, fw*k/sp.ReadOpsPerSec)
