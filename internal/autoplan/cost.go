@@ -141,11 +141,14 @@ func predictCache(w int, wl Workload, env Env) Candidate {
 	slat := env.Store.RequestLatency.Seconds()
 	clat := cacheProf.RequestLatency.Seconds()
 
-	// Phase 1: read the input slice from the store, partition, Set w
+	// Phase 1: stream the input slice from the store — the ranged GET's
+	// transfer overlaps the partition CPU, with only the per-partition
+	// sort after it (shuffle.MapStreamRates' split) — then Set w
 	// entries into the cache (w^2 sets jointly throttled).
-	p1 := perWorker/storeRate + perWorker/cacheRate +
-		math.Max(fw*clat, fw*fw/cacheProf.WriteOpsPerSec) + slat +
-		perWorker/wl.PartitionBps
+	streamBps, sortBps := shuffle.MapStreamRates(wl.PartitionBps)
+	p1 := math.Max(perWorker/storeRate, perWorker/streamBps) +
+		perWorker/sortBps + perWorker/cacheRate +
+		math.Max(fw*clat, fw*fw/cacheProf.WriteOpsPerSec) + slat
 	// Phase 2: Get w entries from the cache, merge, write one output
 	// part to the store.
 	p2 := perWorker/cacheRate + perWorker/storeRate +

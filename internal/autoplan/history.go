@@ -1,6 +1,7 @@
 package autoplan
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -152,6 +153,58 @@ func (h *History) String() string {
 			s, h.TimeFactor(s), h.CostFactor(s), h.Observations(s))
 	}
 	return b.String()
+}
+
+// familyStatsJSON is one family's serialized calibration state: the
+// raw geometric sums, not the derived factors, so merged observations
+// keep exact weights across a save/load cycle.
+type familyStatsJSON struct {
+	N       int     `json:"n"`
+	LogTime float64 `json:"logTime"`
+	CostN   int     `json:"costN"`
+	LogCost float64 `json:"logCost"`
+}
+
+// strategyFromName inverts Strategy.String for deserialization.
+func strategyFromName(name string) (Strategy, bool) {
+	for _, s := range []Strategy{ObjectStorage, Hierarchical, CacheBacked, VMStaged} {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON serializes the calibration state keyed by strategy name,
+// so the file stays readable and stable across Strategy renumbering.
+func (h *History) MarshalJSON() ([]byte, error) {
+	out := make(map[string]familyStatsJSON, len(h.byStrategy))
+	for s, fs := range h.byStrategy {
+		out[s.String()] = familyStatsJSON{
+			N: fs.n, LogTime: fs.logTime, CostN: fs.costN, LogCost: fs.logCost,
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores the calibration state. Unknown family names
+// fail loudly rather than silently dropping calibration signal.
+func (h *History) UnmarshalJSON(data []byte) error {
+	var in map[string]familyStatsJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	h.byStrategy = make(map[Strategy]*familyStats, len(in))
+	for name, fs := range in {
+		s, ok := strategyFromName(name)
+		if !ok {
+			return fmt.Errorf("autoplan: unknown strategy family %q in history", name)
+		}
+		h.byStrategy[s] = &familyStats{
+			n: fs.N, logTime: fs.LogTime, costN: fs.CostN, logCost: fs.LogCost,
+		}
+	}
+	return nil
 }
 
 // calibrate applies the history's factors to a freshly predicted

@@ -52,10 +52,7 @@ func (c *Client) retry(p *des.Proc, op func() error) error {
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
-	maxRetries := c.MaxRetries
-	if maxRetries <= 0 {
-		maxRetries = 6
-	}
+	maxRetries := c.maxRetries()
 	var err error
 	for attempt := 0; ; attempt++ {
 		err = op()

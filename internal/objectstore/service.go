@@ -103,6 +103,7 @@ type Service struct {
 	buckets   map[string]*bucket
 	uploads   map[string]*multipartUpload
 	uploadSeq int64
+	streamSeq int64
 	metrics   Metrics
 
 	// curBytes / lastAccrue drive the stored-volume time integral.

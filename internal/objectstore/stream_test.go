@@ -1,0 +1,377 @@
+package objectstore
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/des"
+)
+
+// streamRig builds a service with one stored object of n pseudo-random
+// printable bytes.
+func streamRig(t *testing.T, cfg Config, n int) (*des.Sim, *Service, []byte) {
+	t.Helper()
+	sim := des.New(7)
+	svc, err := New(sim, cfg)
+	if err != nil {
+		t.Fatalf("service: %v", err)
+	}
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte('a' + (i*131)%26)
+	}
+	sim.Spawn("setup", func(p *des.Proc) {
+		// Client-side setup so rigs with injected failure rates still
+		// load deterministically.
+		c := NewClient(svc)
+		c.MaxRetries = 1000
+		if err := c.CreateBucket(p, "b"); err != nil {
+			t.Errorf("bucket: %v", err)
+			return
+		}
+		if err := c.Put(p, "b", "k", payload.Real(data)); err != nil {
+			t.Errorf("put: %v", err)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("setup sim: %v", err)
+	}
+	return sim, svc, data
+}
+
+func fastCfg() Config {
+	return Config{
+		RequestLatency:   time.Millisecond,
+		PerConnBandwidth: 1e6, // 1 MB/s: transfers take visible virtual time
+		ReadOpsPerSec:    1e6,
+		WriteOpsPerSec:   1e6,
+		OpsBurst:         1e6,
+	}
+}
+
+// drainStream consumes a service stream to EOF, optionally sleeping
+// cpu per chunk (the consumer's simulated per-chunk work).
+func drainStream(p *des.Proc, st *Stream, cpu time.Duration) ([]byte, error) {
+	var out []byte
+	for {
+		pl, err := st.Next(p)
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		if raw, ok := pl.Bytes(); ok {
+			out = append(out, raw...)
+		}
+		if cpu > 0 {
+			p.Sleep(cpu)
+		}
+	}
+}
+
+func TestStreamDeliversRangeByteIdentical(t *testing.T) {
+	for _, chunk := range []int64{1, 7, 100, 4096, 1 << 20} {
+		sim, svc, data := streamRig(t, fastCfg(), 10000)
+		var got, want []byte
+		sim.Spawn("reader", func(p *des.Proc) {
+			pl, err := svc.GetRange(p, "b", "k", 500, 9000, 0)
+			if err != nil {
+				t.Errorf("GetRange: %v", err)
+				return
+			}
+			want, _ = pl.Bytes()
+			st, err := svc.GetStream(p, "b", "k", 500, 9000, StreamOptions{ChunkBytes: chunk})
+			if err != nil {
+				t.Errorf("GetStream: %v", err)
+				return
+			}
+			got, err = drainStream(p, st, 0)
+			if err != nil {
+				t.Errorf("drain: %v", err)
+			}
+		})
+		if err := sim.Run(); err != nil {
+			t.Fatalf("sim: %v", err)
+		}
+		if !bytes.Equal(got, want) || !bytes.Equal(got, data[500:9500]) {
+			t.Fatalf("chunk=%d: stream bytes differ from GetRange (%d vs %d bytes)",
+				chunk, len(got), len(want))
+		}
+	}
+}
+
+// TestStreamOverlapsConsumerWork is the point of streaming: a consumer
+// doing per-chunk work finishes in ~max(transfer, cpu), not their sum.
+func TestStreamOverlapsConsumerWork(t *testing.T) {
+	const size = 1 << 20 // 1 MB at 1 MB/s: ~1 s transfer
+	cfg := fastCfg()
+	const chunks = 16
+	perChunkCPU := 60 * time.Millisecond // ~0.96 s CPU total
+
+	// Buffered reference: GetRange then compute.
+	sim, svc, _ := streamRig(t, cfg, size)
+	var buffered time.Duration
+	sim.Spawn("buffered", func(p *des.Proc) {
+		start := p.Now()
+		if _, err := svc.GetRange(p, "b", "k", 0, size, 0); err != nil {
+			t.Errorf("GetRange: %v", err)
+			return
+		}
+		p.Sleep(chunks * perChunkCPU)
+		buffered = p.Now() - start
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("buffered sim: %v", err)
+	}
+
+	sim2, svc2, _ := streamRig(t, cfg, size)
+	var streamed time.Duration
+	sim2.Spawn("streamed", func(p *des.Proc) {
+		start := p.Now()
+		st, err := svc2.GetStream(p, "b", "k", 0, size, StreamOptions{ChunkBytes: size / chunks})
+		if err != nil {
+			t.Errorf("GetStream: %v", err)
+			return
+		}
+		if _, err := drainStream(p, st, perChunkCPU); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		streamed = p.Now() - start
+	})
+	if err := sim2.Run(); err != nil {
+		t.Fatalf("streamed sim: %v", err)
+	}
+
+	// Buffered pays transfer + cpu ≈ 2 s; streamed should approach
+	// max(transfer, cpu) ≈ 1 s plus one chunk of pipeline fill.
+	if streamed >= buffered {
+		t.Fatalf("streamed %v not faster than buffered %v", streamed, buffered)
+	}
+	bound := time.Duration(float64(buffered) * 0.65)
+	if streamed > bound {
+		t.Fatalf("streamed %v shows too little overlap (buffered %v, want <= %v)",
+			streamed, buffered, bound)
+	}
+}
+
+// TestStreamEqualTimingWithoutConsumerWork: with no per-chunk CPU,
+// chunking must not change transfer economics materially.
+func TestStreamEqualTimingWithoutConsumerWork(t *testing.T) {
+	const size = 1 << 20
+	sim, svc, _ := streamRig(t, fastCfg(), size)
+	var buffered, streamed time.Duration
+	sim.Spawn("reader", func(p *des.Proc) {
+		start := p.Now()
+		if _, err := svc.GetRange(p, "b", "k", 0, size, 0); err != nil {
+			t.Errorf("GetRange: %v", err)
+			return
+		}
+		buffered = p.Now() - start
+		start = p.Now()
+		st, err := svc.GetStream(p, "b", "k", 0, size, StreamOptions{ChunkBytes: 64 << 10})
+		if err != nil {
+			t.Errorf("GetStream: %v", err)
+			return
+		}
+		if _, err := drainStream(p, st, 0); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		streamed = p.Now() - start
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if d := (streamed - buffered).Seconds() / buffered.Seconds(); d > 0.01 || d < -0.01 {
+		t.Fatalf("streamed %v vs buffered %v: drift %.2f%%", streamed, buffered, d*100)
+	}
+}
+
+func TestStreamSizedPayload(t *testing.T) {
+	sim := des.New(3)
+	svc, err := New(sim, fastCfg())
+	if err != nil {
+		t.Fatalf("service: %v", err)
+	}
+	sim.Spawn("driver", func(p *des.Proc) {
+		_ = svc.CreateBucket(p, "b")
+		_ = svc.Put(p, "b", "k", payload.Sized(1000), 0)
+		st, err := svc.GetStream(p, "b", "k", 0, 1000, StreamOptions{ChunkBytes: 300})
+		if err != nil {
+			t.Errorf("GetStream: %v", err)
+			return
+		}
+		var total int64
+		var n int
+		for {
+			pl, err := st.Next(p)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Errorf("Next: %v", err)
+				return
+			}
+			if _, real := pl.Bytes(); real {
+				t.Error("sized object yielded real chunk")
+			}
+			total += pl.Size()
+			n++
+		}
+		if total != 1000 || n != 4 {
+			t.Errorf("sized stream: %d bytes in %d chunks, want 1000 in 4", total, n)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestStreamCloseEarlyNoDeadlock(t *testing.T) {
+	sim, svc, _ := streamRig(t, fastCfg(), 1<<20)
+	sim.Spawn("reader", func(p *des.Proc) {
+		st, err := svc.GetStream(p, "b", "k", 0, 1<<20, StreamOptions{ChunkBytes: 1 << 10})
+		if err != nil {
+			t.Errorf("GetStream: %v", err)
+			return
+		}
+		if _, err := st.Next(p); err != nil {
+			t.Errorf("Next: %v", err)
+		}
+		st.Close()
+		if _, err := st.Next(p); !errors.Is(err, ErrStreamClosed) {
+			t.Errorf("Next after Close = %v, want ErrStreamClosed", err)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim after early close: %v", err)
+	}
+}
+
+func TestStreamRangeErrors(t *testing.T) {
+	sim, svc, _ := streamRig(t, fastCfg(), 100)
+	sim.Spawn("reader", func(p *des.Proc) {
+		if _, err := svc.GetStream(p, "b", "missing", 0, 10, StreamOptions{}); err == nil {
+			t.Error("missing key accepted")
+		}
+		if _, err := svc.GetStream(p, "b", "k", 50, 100, StreamOptions{}); err == nil {
+			t.Error("out-of-bounds range accepted")
+		}
+		st, err := svc.GetStream(p, "b", "k", 10, 0, StreamOptions{})
+		if err != nil {
+			t.Errorf("empty range: %v", err)
+			return
+		}
+		if _, err := st.Next(p); !errors.Is(err, io.EOF) {
+			t.Errorf("empty range Next = %v, want EOF", err)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+// TestClientStreamResumesAfterThrottledContinuations: with failures
+// injected, the client wrapper must deliver the exact range by
+// resuming at the first undelivered byte.
+func TestClientStreamResumesAfterThrottledContinuations(t *testing.T) {
+	cfg := fastCfg()
+	cfg.FailureRate = 0.15
+	sim, svc, data := streamRig(t, cfg, 200000)
+	c := NewClient(svc)
+	c.MaxRetries = 100
+	var got []byte
+	sim.Spawn("reader", func(p *des.Proc) {
+		cs, err := c.GetStream(p, "b", "k", 100, 150000, StreamOptions{ChunkBytes: 4096})
+		if err != nil {
+			t.Errorf("GetStream: %v", err)
+			return
+		}
+		for {
+			pl, err := cs.Next(p)
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				t.Errorf("Next: %v", err)
+				return
+			}
+			raw, _ := pl.Bytes()
+			got = append(got, raw...)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if !bytes.Equal(got, data[100:150100]) {
+		t.Fatalf("resumed stream corrupt: %d bytes", len(got))
+	}
+	if c.Retries() == 0 {
+		t.Fatal("no retries at 15% failure rate; test exercised nothing")
+	}
+}
+
+// TestClientStreamExhaustsRetries: a hostile failure rate with a tiny
+// budget must surface an exhaustion error, not spin.
+func TestClientStreamExhaustsRetries(t *testing.T) {
+	cfg := fastCfg()
+	cfg.FailureRate = 0.9
+	sim, svc, _ := streamRig(t, cfg, 100000)
+	c := NewClient(svc)
+	c.MaxRetries = 2
+	var lastErr error
+	sim.Spawn("reader", func(p *des.Proc) {
+		cs, err := c.GetStream(p, "b", "k", 0, 100000, StreamOptions{ChunkBytes: 1024})
+		if err != nil {
+			lastErr = err
+			return
+		}
+		for {
+			_, err := cs.Next(p)
+			if err != nil {
+				lastErr = err
+				return
+			}
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if lastErr == nil || errors.Is(lastErr, io.EOF) {
+		t.Fatalf("expected exhaustion error, got %v", lastErr)
+	}
+	if !errors.Is(lastErr, ErrSlowDown) {
+		t.Fatalf("exhaustion error %v does not wrap ErrSlowDown", lastErr)
+	}
+}
+
+// TestStreamMetricsMatchBuffered: BytesOut and class B counts for a
+// streamed range must equal the buffered equivalent's.
+func TestStreamMetricsMatchBuffered(t *testing.T) {
+	sim, svc, _ := streamRig(t, fastCfg(), 50000)
+	before := svc.Metrics()
+	sim.Spawn("reader", func(p *des.Proc) {
+		st, err := svc.GetStream(p, "b", "k", 0, 50000, StreamOptions{ChunkBytes: 1 << 12})
+		if err != nil {
+			t.Errorf("GetStream: %v", err)
+			return
+		}
+		if _, err := drainStream(p, st, 0); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	after := svc.Metrics()
+	if got := after.BytesOut - before.BytesOut; got != 50000 {
+		t.Fatalf("BytesOut delta = %d, want 50000", got)
+	}
+	if got := after.ClassBOps - before.ClassBOps; got != 1 {
+		t.Fatalf("ClassBOps delta = %d, want 1 (one ranged GET)", got)
+	}
+}

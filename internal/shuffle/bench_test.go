@@ -47,6 +47,41 @@ func BenchmarkPartition(b *testing.B) {
 	}
 }
 
+// BenchmarkMapStream is the streaming map body on the identical
+// workload as BenchmarkPartition: the same slice fed through the
+// chunk-boundary line feeder in 64 KiB chunks (partial trailing lines
+// carried across chunks) instead of one buffered partitionRaw pass.
+// The delta between the two is the Go-side cost of the streaming
+// machinery — it buys the DES-side transfer/CPU overlap, so it must
+// stay noise.
+func BenchmarkMapStream(b *testing.B) {
+	recs := benchRecords()
+	raw := bed.Marshal(recs)
+	bounds := benchBounds(recs, 8)
+	const chunk = 64 << 10
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := newRunBuilder(8, bounds)
+		builder.sizeHint(len(raw))
+		f := &lineFeeder{fn: builder.Add, limit: int64(len(raw))}
+		for pos := 0; pos < len(raw) && !f.done; pos += chunk {
+			end := pos + chunk
+			if end > len(raw) {
+				end = len(raw)
+			}
+			if err := f.feed(raw[pos:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := f.finish(); err != nil {
+			b.Fatal(err)
+		}
+		builder.Finish()
+	}
+}
+
 // legacyPartitionRaw is the pre-data-plane mapper body: parse each
 // line to a Record, format its SortKey string, binary-search the
 // string boundaries, and re-serialize — no sorted-run invariant.

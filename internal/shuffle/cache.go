@@ -217,6 +217,8 @@ func (op *CacheOperator) Sort(p *des.Proc, spec CacheSpec) (CacheResult, error) 
 			Boundaries:   boundaries,
 			Cache:        cluster,
 			PartitionBps: spec.PartitionBps,
+			ChunkBytes:   spec.StreamChunkBytes,
+			Buffered:     spec.BufferedRead,
 		}
 	}
 	if _, err := op.mapPhase(p, cacheMapFn, mapInputs, spec.Spec); err != nil {
@@ -282,6 +284,17 @@ type cacheMapTask struct {
 	Boundaries   []Boundary
 	Cache        *memcache.Cluster
 	PartitionBps float64
+	ChunkBytes   int64
+	Buffered     bool
+}
+
+// read returns the task's input-slice geometry for the streaming path.
+func (t *cacheMapTask) read() mapRead {
+	return mapRead{
+		Bucket: t.InputBucket, Key: t.InputKey,
+		Offset: t.Offset, Length: t.Length, TotalSize: t.TotalSize,
+		ChunkBytes: t.ChunkBytes, PartitionBps: t.PartitionBps,
+	}
 }
 
 // cacheReduceTask is the input of one cache-exchange reduce activation.
@@ -296,8 +309,9 @@ type cacheReduceTask struct {
 	Batched      bool
 }
 
-// cacheMapHandler reads its input slice from the object store,
-// partitions it, and Sets one cache entry per reducer.
+// cacheMapHandler consumes its input slice from the object store as a
+// stream of chunks, partitioning as they arrive, and Sets one cache
+// entry per reducer. Buffered tasks keep the pre-streaming behavior.
 func cacheMapHandler(ctx *faas.Ctx, input any) (any, error) {
 	task, ok := input.(*cacheMapTask)
 	if !ok {
@@ -312,44 +326,50 @@ func cacheMapHandler(ctx *faas.Ctx, input any) (any, error) {
 		return nil, nil
 	}
 
-	readOff := task.Offset
-	prefixByte := false
-	if readOff > 0 {
-		readOff--
-		prefixByte = true
-	}
-	readLen := task.Offset + task.Length + overscan - readOff
-	if readOff+readLen > task.TotalSize {
-		readLen = task.TotalSize - readOff
-	}
-	pl, err := ctx.Store.GetRange(ctx.Proc, task.InputBucket, task.InputKey, readOff, readLen)
-	if err != nil {
-		return nil, fmt.Errorf("shuffle: cache map %d read: %w", task.MapIndex, err)
-	}
-	ctx.ComputeBytes(task.Length, task.PartitionBps)
-
-	if raw, real := pl.Bytes(); real {
-		parts, err := partitionRaw(raw, prefixByte, task.Offset, task.Length, task.Workers, task.Boundaries)
+	var (
+		parts [][]byte
+		sized bool
+	)
+	if task.Buffered {
+		readOff, readLen, prefixByte := task.read().span()
+		pl, err := ctx.Store.GetRange(ctx.Proc, task.InputBucket, task.InputKey, readOff, readLen)
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: cache map %d read: %w", task.MapIndex, err)
+		}
+		ctx.ComputeBytes(task.Length, task.PartitionBps)
+		if raw, real := pl.Bytes(); real {
+			parts, err = partitionRaw(raw, prefixByte, task.Offset, task.Length, task.Workers, task.Boundaries)
+			if err != nil {
+				return nil, fmt.Errorf("shuffle: cache map %d: %w", task.MapIndex, err)
+			}
+		} else {
+			sized = true
+		}
+	} else {
+		var err error
+		parts, sized, err = consumeMapStream(ctx, task.read(), task.Workers, task.Boundaries)
 		if err != nil {
 			return nil, fmt.Errorf("shuffle: cache map %d: %w", task.MapIndex, err)
 		}
+	}
+
+	if sized {
+		// Sized mode: even split of this worker's slice.
+		base := task.Length / int64(task.Workers)
+		rem := task.Length % int64(task.Workers)
 		for r := 0; r < task.Workers; r++ {
-			if err := task.Cache.Set(ctx.Proc, partKey(task.JobID, task.MapIndex, r), payload.RealNoCopy(parts[r])); err != nil {
+			n := base
+			if int64(r) < rem {
+				n++
+			}
+			if err := task.Cache.Set(ctx.Proc, partKey(task.JobID, task.MapIndex, r), payload.Sized(n)); err != nil {
 				return nil, fmt.Errorf("shuffle: cache map %d set partition %d: %w", task.MapIndex, r, err)
 			}
 		}
 		return nil, nil
 	}
-
-	// Sized mode: even split of this worker's slice.
-	base := task.Length / int64(task.Workers)
-	rem := task.Length % int64(task.Workers)
 	for r := 0; r < task.Workers; r++ {
-		n := base
-		if int64(r) < rem {
-			n++
-		}
-		if err := task.Cache.Set(ctx.Proc, partKey(task.JobID, task.MapIndex, r), payload.Sized(n)); err != nil {
+		if err := task.Cache.Set(ctx.Proc, partKey(task.JobID, task.MapIndex, r), payload.RealNoCopy(parts[r])); err != nil {
 			return nil, fmt.Errorf("shuffle: cache map %d set partition %d: %w", task.MapIndex, r, err)
 		}
 	}

@@ -171,6 +171,8 @@ func (op *Operator) SortHierarchical(p *des.Proc, spec HierSpec) (HierResult, er
 			Boundaries:    coarse,
 			ScratchBucket: spec.ScratchBucket,
 			PartitionBps:  spec.PartitionBps,
+			ChunkBytes:    spec.StreamChunkBytes,
+			Buffered:      spec.BufferedRead,
 		}
 	}
 	if _, err := op.mapPhase(p, mapFn, r1Inputs, spec.Spec); err != nil {
@@ -351,10 +353,13 @@ func PredictHierarchical(w, g int, in PlanInput, sp StoreProfile) Plan {
 	lat := sp.RequestLatency.Seconds()
 	toDur := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
 
-	// Round 1: read slice, write g partitions (w*g writes total).
+	// Round 1: stream the slice — transfer overlaps the partition CPU,
+	// with only the per-partition sort after it — then write g
+	// partitions (w*g writes total).
+	streamBps, sortBps := MapStreamRates(in.PartitionBps)
 	reqR1 := math.Max(fg*lat, fw*fg/sp.WriteOpsPerSec)
-	ioR1 := perWorker/rate + perWorker/rate + reqR1 + lat
-	cpuR1 := perWorker / in.PartitionBps
+	ioR1 := math.Max(perWorker/rate, perWorker/streamBps) + perWorker/rate + reqR1 + lat
+	cpuR1 := perWorker / sortBps
 
 	// Round 2a: gather g sorted runs, merge-split into k partitions.
 	// The repartitioner is a cursor merge (it re-sorts nothing), so its

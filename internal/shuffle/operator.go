@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"slices"
 	"sync/atomic"
 	"time"
 
@@ -99,6 +98,14 @@ type Spec struct {
 	// leaves scratch in place (lifecycle rules reap it), matching the
 	// paper's setup.
 	CleanupScratch bool
+	// StreamChunkBytes is the streaming map read's transfer granularity
+	// (default objectstore.DefaultStreamChunk). Smaller chunks overlap
+	// transfer and partition CPU at finer grain.
+	StreamChunkBytes int64
+	// BufferedRead restores the pre-streaming map read: buffer the
+	// whole ranged GET, then partition. Kept for A/B timing studies and
+	// the byte-identity tests pinning the streaming path against it.
+	BufferedRead bool
 }
 
 func (s Spec) validate() error {
@@ -211,6 +218,8 @@ func (op *Operator) Sort(p *des.Proc, spec Spec) (Result, error) {
 			Boundaries:    boundaries,
 			ScratchBucket: spec.ScratchBucket,
 			PartitionBps:  spec.PartitionBps,
+			ChunkBytes:    spec.StreamChunkBytes,
+			Buffered:      spec.BufferedRead,
 		}
 	}
 	if _, err := op.mapPhase(p, mapFn, mapInputs, spec); err != nil {
@@ -293,16 +302,24 @@ func sampleBoundaries(p *des.Proc, client *objectstore.Client, spec Spec, size i
 	if len(recs) == 0 {
 		return nil, errors.New("shuffle: empty sample")
 	}
-	keys := make([]Boundary, len(recs))
+	// Radix sort the packed sample keys: the sample is read before
+	// wave 1 can launch, so its sort sits on the job's critical path.
+	// Idx carries the record index; ties fall back to full-name
+	// comparison plus input order, exactly like runPart.finish.
+	krs := make([]bed.KeyRef, len(recs))
 	for i, r := range recs {
-		keys[i] = Boundary{Key: bed.KeyOf(r), Name: r.Chrom}
+		krs[i] = bed.KeyRef{Key: bed.KeyOf(r), Idx: int32(i)}
 	}
-	slices.SortFunc(keys, func(a, b Boundary) int {
-		return bed.CompareKeyName(a.Key, a.Name, b.Key, b.Name)
+	bed.RadixSort(krs, func(a, b bed.KeyRef) int {
+		if c := bed.CompareKeyName(a.Key, recs[a.Idx].Chrom, b.Key, recs[b.Idx].Chrom); c != 0 {
+			return c
+		}
+		return int(a.Idx) - int(b.Idx)
 	})
 	bounds := make([]Boundary, workers-1)
 	for i := 1; i < workers; i++ {
-		bounds[i-1] = keys[i*len(keys)/workers]
+		kr := krs[i*len(krs)/workers]
+		bounds[i-1] = Boundary{Key: kr.Key, Name: recs[kr.Idx].Chrom}
 	}
 	return bounds, nil
 }
@@ -353,6 +370,17 @@ type mapTask struct {
 	Boundaries    []Boundary
 	ScratchBucket string
 	PartitionBps  float64
+	ChunkBytes    int64
+	Buffered      bool
+}
+
+// read returns the task's input-slice geometry for the streaming path.
+func (t *mapTask) read() mapRead {
+	return mapRead{
+		Bucket: t.InputBucket, Key: t.InputKey,
+		Offset: t.Offset, Length: t.Length, TotalSize: t.TotalSize,
+		ChunkBytes: t.ChunkBytes, PartitionBps: t.PartitionBps,
+	}
 }
 
 // reduceTask is the input of one reduce-phase activation. OutputIndex
@@ -371,8 +399,10 @@ type reduceTask struct {
 	Cleanup       bool
 }
 
-// mapHandler reads its input slice, partitions records by the binary
-// sort-key boundaries, and writes one sorted run per reducer.
+// mapHandler consumes its input slice as a stream of chunks,
+// partitioning records by the binary sort-key boundaries as they
+// arrive, and writes one sorted run per reducer. Buffered tasks keep
+// the pre-streaming read-everything-first behavior.
 func mapHandler(ctx *faas.Ctx, input any) (any, error) {
 	task, ok := input.(*mapTask)
 	if !ok {
@@ -389,19 +419,30 @@ func mapHandler(ctx *faas.Ctx, input any) (any, error) {
 		}
 		return nil, nil
 	}
+	if task.Buffered {
+		return mapBuffered(ctx, task)
+	}
+	parts, sized, err := consumeMapStream(ctx, task.read(), task.Workers, task.Boundaries)
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: map %d: %w", task.MapIndex, err)
+	}
+	if sized {
+		return mapSized(ctx, task)
+	}
+	for r := 0; r < task.Workers; r++ {
+		if err := ctx.Store.Put(ctx.Proc, task.ScratchBucket,
+			partKey(task.JobID, task.MapIndex, r), payload.RealNoCopy(parts[r])); err != nil {
+			return nil, fmt.Errorf("shuffle: map %d write partition %d: %w", task.MapIndex, r, err)
+		}
+	}
+	return nil, nil
+}
 
-	// Read the slice plus enough to finish the final line, and one
-	// byte before to decide first-line ownership.
-	readOff := task.Offset
-	prefixByte := false
-	if readOff > 0 {
-		readOff--
-		prefixByte = true
-	}
-	readLen := task.Offset + task.Length + overscan - readOff
-	if readOff+readLen > task.TotalSize {
-		readLen = task.TotalSize - readOff
-	}
+// mapBuffered is the pre-streaming map body: one blocking ranged GET,
+// then partitioning. The whole slice's transfer and CPU add up
+// serially; kept behind Spec.BufferedRead as the A/B baseline.
+func mapBuffered(ctx *faas.Ctx, task *mapTask) (any, error) {
+	readOff, readLen, prefixByte := task.read().span()
 	pl, err := ctx.Store.GetRange(ctx.Proc, task.InputBucket, task.InputKey, readOff, readLen)
 	if err != nil {
 		return nil, fmt.Errorf("shuffle: map %d read: %w", task.MapIndex, err)

@@ -77,13 +77,22 @@ type Plan struct {
 
 // Predict models the shuffle latency with w workers per phase.
 //
-// Phase 1 (map): each worker reads data/w, partitions it, and writes w
-// intermediate objects. Phase 2 (reduce): each worker reads w
-// intermediates (data/w total), merges, writes one output. Transfers
-// run at min(per-connection ceiling, aggregate/w); the w^2 requests of
-// each phase pay per-request latency serially per worker and are
-// jointly subject to the service's ops throttle — the term that makes
-// over-parallelizing lose.
+// Phase 1 (map): each worker streams its data/w slice, partitioning
+// chunks as they arrive — the ranged GET's transfer overlaps the
+// parse/route CPU, so the streaming leg costs max(transfer,
+// partitionCPU), and only the per-partition radix sort
+// (mapSortShare of the partition budget) runs after the transfer —
+// then writes w intermediate objects. Phase 2 (reduce): each worker
+// reads w intermediates (data/w total), merges, writes one output.
+// Transfers run at min(per-connection ceiling, aggregate/w); the w^2
+// requests of each phase pay per-request latency serially per worker
+// and are jointly subject to the service's ops throttle — the term
+// that makes over-parallelizing lose.
+//
+// In the returned Plan, Phase1IO carries the whole streaming leg
+// (transfer and partition CPU overlapped) plus the request terms and
+// the partition-write leg; Phase1CPU is only the post-stream sort, so
+// the component sum still equals the worker's wall time.
 func Predict(w int, in PlanInput, sp StoreProfile) Plan {
 	in = in.withDefaults()
 	d := float64(in.DataBytes)
@@ -98,9 +107,11 @@ func Predict(w int, in PlanInput, sp StoreProfile) Plan {
 	}
 
 	lat := sp.RequestLatency.Seconds()
+	streamBps, sortBps := MapStreamRates(in.PartitionBps)
 	reqP1 := math.Max(fw*lat, fw*fw/sp.WriteOpsPerSec) // w writes/worker; w^2 throttled
-	ioP1 := perWorker/rate /* read input slice */ + perWorker/rate /* write partitions */ + reqP1 + lat
-	cpuP1 := perWorker / in.PartitionBps
+	streamLeg := math.Max(perWorker/rate, perWorker/streamBps)
+	ioP1 := streamLeg + perWorker/rate /* write partitions */ + reqP1 + lat
+	cpuP1 := perWorker / sortBps // post-stream per-partition sort
 
 	reqP2 := math.Max(fw*lat, fw*fw/sp.ReadOpsPerSec)
 	ioP2 := perWorker/rate /* read w partitions */ + perWorker/rate /* write output */ + reqP2 + lat

@@ -1,0 +1,223 @@
+package shuffle
+
+// The streaming map path: instead of buffering a mapper's whole ranged
+// GET before the first byte is partitioned, the map slice is consumed
+// as a stream of chunks (objectstore.Client.GetStream), each chunk's
+// complete lines fed into the runBuilder as they arrive — with the
+// partial trailing line carried across chunk boundaries — so parsing,
+// key packing, and partition routing overlap the remaining transfer.
+// The per-partition radix sort (runBuilder.Finish) is the only
+// post-transfer work, matching the planner's overlap model
+// max(transfer, partitionCPU) + sort.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+
+	"github.com/faaspipe/faaspipe/internal/faas"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+)
+
+// mapSortShare is the fraction of the map phase's lumped CPU budget
+// spent in the post-stream radix sort of the partitions — the one leg
+// that cannot overlap the transfer because it needs every record
+// routed first. The remaining 4/5 is the per-chunk parse+route+append
+// work, a 4:1 time split matching the measured data-plane benchmarks
+// (the radix finish runs ~4x faster than the full parse+route pass
+// over the same bytes).
+const mapSortShare = 0.2
+
+// MapStreamRates splits the lumped partition throughput (the
+// calibrated "parse + route + serialize + sort" rate specs and
+// profiles carry) into the streaming and post-stream legs:
+// 1/partitionBps = 1/streamBps + 1/sortBps, with the sort taking
+// mapSortShare of the total time. Shared by the execution path and
+// every predictor, so the modeled overlap and the simulated overlap
+// agree by construction.
+func MapStreamRates(partitionBps float64) (streamBps, sortBps float64) {
+	if partitionBps <= 0 {
+		return 0, 0
+	}
+	return partitionBps / (1 - mapSortShare), partitionBps / mapSortShare
+}
+
+// lineFeeder splits streamed chunks into complete lines and feeds the
+// slice's owned ones to fn, replicating partitionRaw's ownership rules
+// incrementally: lines whose global start position is inside
+// [offset, limit) belong to this mapper; a partial trailing line is
+// carried across chunk boundaries; blank lines are skipped; the
+// unterminated final line (no trailing newline at stream end) is
+// flushed by finish. fn must not retain the line slice past its call.
+type lineFeeder struct {
+	fn    func(line []byte) error
+	pos   int64 // global offset of the next unseen stream byte
+	limit int64 // lines starting at or past this are the next mapper's
+	// skipFirst drops bytes through the first newline: the stream
+	// begins one byte before the slice to decide first-line ownership,
+	// and everything up to that newline is the predecessor's line.
+	skipFirst bool
+	carry     []byte // partial line awaiting its terminator
+	done      bool   // a line start at/past limit was seen: all owned lines are in
+}
+
+// feed consumes one chunk. After it returns with f.done set, the
+// caller can stop reading the stream: every owned line has been fed.
+func (f *lineFeeder) feed(chunk []byte) error {
+	// Every line starting inside this chunk starts below the limit when
+	// the chunk itself ends below it — the common case for all but a
+	// mapper's final chunks — so the per-line ownership check can be
+	// skipped wholesale.
+	checkLimit := f.pos+int64(len(chunk)) > f.limit
+	for len(chunk) > 0 && !f.done {
+		if f.skipFirst {
+			nl := bytes.IndexByte(chunk, '\n')
+			if nl < 0 {
+				f.pos += int64(len(chunk))
+				return nil
+			}
+			f.pos += int64(nl) + 1
+			chunk = chunk[nl+1:]
+			f.skipFirst = false
+			continue
+		}
+		nl := bytes.IndexByte(chunk, '\n')
+		if nl < 0 {
+			f.carry = append(f.carry, chunk...)
+			f.pos += int64(len(chunk))
+			return nil
+		}
+		if checkLimit && f.pos-int64(len(f.carry)) >= f.limit {
+			f.done = true
+			return nil
+		}
+		line := chunk[:nl]
+		if len(f.carry) > 0 {
+			f.carry = append(f.carry, chunk[:nl]...)
+			line = f.carry
+		}
+		f.pos += int64(nl) + 1
+		chunk = chunk[nl+1:]
+		if len(bytes.TrimSpace(line)) != 0 {
+			if err := f.fn(line); err != nil {
+				return err
+			}
+		}
+		if len(f.carry) > 0 {
+			f.carry = f.carry[:0]
+		}
+	}
+	return nil
+}
+
+// finish flushes the unterminated final line once the stream ends.
+func (f *lineFeeder) finish() error {
+	if f.skipFirst {
+		// The whole stream was one line with no start inside the slice —
+		// the same condition the buffered path reports.
+		return errNoLineStart
+	}
+	if f.done || len(f.carry) == 0 {
+		return nil
+	}
+	if f.pos-int64(len(f.carry)) >= f.limit {
+		return nil
+	}
+	line := f.carry
+	f.carry = f.carry[:0]
+	if len(bytes.TrimSpace(line)) == 0 {
+		return nil
+	}
+	return f.fn(line)
+}
+
+// mapRead is the input-slice geometry shared by the map tasks.
+type mapRead struct {
+	Bucket, Key    string
+	Offset, Length int64
+	TotalSize      int64
+	ChunkBytes     int64
+	PartitionBps   float64
+}
+
+// span returns the byte range a mapper actually reads: one byte before
+// the slice (to decide first-line ownership) through the overscan that
+// completes its final line, clipped to the object.
+func (r mapRead) span() (readOff, readLen int64, prefixByte bool) {
+	readOff = r.Offset
+	if readOff > 0 {
+		readOff--
+		prefixByte = true
+	}
+	readLen = r.Offset + r.Length + overscan - readOff
+	if readOff+readLen > r.TotalSize {
+		readLen = r.TotalSize - readOff
+	}
+	return readOff, readLen, prefixByte
+}
+
+// consumeMapStream streams the map slice into a runBuilder, charging
+// the per-chunk partition CPU (at the streaming rate) as each chunk
+// lands and the post-stream sort once the transfer is done. It returns
+// the finished sorted runs, or sized=true when the object is a
+// timing-only payload (the caller writes even-split sized partitions;
+// the CPU has already been charged either way).
+func consumeMapStream(ctx *faas.Ctx, r mapRead, workers int, bounds []Boundary) (parts [][]byte, sized bool, err error) {
+	readOff, readLen, prefixByte := r.span()
+	st, err := ctx.Store.GetStream(ctx.Proc, r.Bucket, r.Key, readOff, readLen,
+		objectstore.StreamOptions{ChunkBytes: r.ChunkBytes})
+	if err != nil {
+		return nil, false, err
+	}
+	defer st.Close()
+
+	streamBps, sortBps := MapStreamRates(r.PartitionBps)
+	builder := newRunBuilder(workers, bounds)
+	builder.sizeHint(int(readLen))
+	feeder := &lineFeeder{
+		fn:        builder.Add,
+		pos:       readOff,
+		limit:     r.Offset + r.Length,
+		skipFirst: prefixByte,
+	}
+	// The CPU budget keeps the total partition charge at exactly
+	// Length/PartitionBps — overscan bytes are transferred but their
+	// lines belong to the next mapper.
+	budget := r.Length
+	for {
+		pl, err := st.Next(ctx.Proc)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		if raw, real := pl.Bytes(); real {
+			if err := feeder.feed(raw); err != nil {
+				return nil, false, err
+			}
+		} else {
+			sized = true
+		}
+		charge := pl.Size()
+		if charge > budget {
+			charge = budget
+		}
+		budget -= charge
+		ctx.ComputeBytes(charge, streamBps)
+		if feeder.done {
+			break // every owned line is in; abandon the rest of the range
+		}
+	}
+	if !sized {
+		if err := feeder.finish(); err != nil {
+			return nil, false, err
+		}
+	}
+	// The per-partition radix sort is the only post-transfer work.
+	ctx.ComputeBytes(r.Length, sortBps)
+	if sized {
+		return nil, true, nil
+	}
+	return builder.Finish(), false, nil
+}
