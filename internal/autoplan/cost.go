@@ -6,9 +6,18 @@ import (
 	"time"
 
 	"github.com/faaspipe/faaspipe/internal/memcache"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
 	"github.com/faaspipe/faaspipe/internal/shuffle"
 	"github.com/faaspipe/faaspipe/internal/vm"
 )
+
+// outputPartRequests counts the class A requests a reducer's streamed
+// multipart output costs: the upload parts plus create/complete, or
+// one plain PUT when the output fits a single part — the same
+// arithmetic the PutStream writer executes.
+func outputPartRequests(outBytes int64) int64 {
+	return objectstore.PutStreamRequests(outBytes, shuffle.AdaptiveChunkBytes(0, outBytes))
+}
 
 // The predictors below mirror the operators' execution shape
 // request-for-request: the time side reuses the shuffle package's
@@ -47,8 +56,8 @@ func activeSeconds(p shuffle.Plan) float64 {
 func predictObjectStorage(w int, wl Workload, env Env) Candidate {
 	plan := shuffle.Predict(w, wl.planInput(env.FunctionStartup), env.Store)
 	fw := int64(w)
-	classA := fw*fw + fw     // phase-1 partition writes + output writes
-	classB := 2 + fw + fw*fw // head + sample, input range reads, phase-2 reads
+	classA := fw*fw + fw*outputPartRequests(wl.DataBytes/fw) // partition writes + streamed output parts
+	classB := 2 + fw + fw*fw                                 // head + sample, input range reads, phase-2 reads
 	cost := functionUSD(env, w, activeSeconds(plan), 2*w) +
 		storageUSD(env, classA, classB, 2*wl.DataBytes, plan.Predicted)
 	return Candidate{
@@ -83,8 +92,8 @@ func predictHierarchical(w int, wl Workload, env Env) Candidate {
 	}
 	fw, fg := int64(w), int64(bestG)
 	k := fw / fg
-	classA := fw*fg + fw*k + fw     // round-1 sprays, repartition writes, outputs
-	classB := 2 + fw + fw*fg + fw*k // head + sample, input reads, gather rounds
+	classA := fw*fg + fw*k + fw*outputPartRequests(wl.DataBytes/fw) // sprays, repartition writes, streamed output parts
+	classB := 2 + fw + fw*fg + fw*k                                 // head + sample, input reads, gather rounds
 	cost := functionUSD(env, w, activeSeconds(best), 3*w) +
 		storageUSD(env, classA, classB, 2*wl.DataBytes, best.Predicted)
 	return Candidate{
@@ -149,11 +158,25 @@ func predictCache(w int, wl Workload, env Env) Candidate {
 	p1 := math.Max(perWorker/storeRate, perWorker/streamBps) +
 		perWorker/sortBps + perWorker/cacheRate +
 		math.Max(fw*clat, fw*fw/cacheProf.WriteOpsPerSec) + slat
-	// Phase 2: Get w entries from the cache, merge, write one output
-	// part to the store.
-	p2 := perWorker/cacheRate + perWorker/storeRate +
-		math.Max(fw*clat, fw*fw/cacheProf.ReadOpsPerSec) + slat +
-		perWorker/wl.MergeBps
+	// Phase 2: Get w entries from the cache over concurrent
+	// connections (one admission latency, jointly throttled), then the
+	// chunk-fed merge overlaps the streamed multipart output — the
+	// resident runs make cache-in serial with max(merge, store-out).
+	cacheAgg := math.Inf(1)
+	if cacheProf.AggregateBandwidth > 0 {
+		cacheAgg = cacheProf.AggregateBandwidth / fw
+	}
+	storeAgg := math.Inf(1)
+	if env.Store.AggregateBandwidth > 0 {
+		storeAgg = env.Store.AggregateBandwidth / fw
+	}
+	cacheInRate := math.Min(fw*cacheProf.PerConnBandwidth, cacheAgg)
+	storeOutRate := math.Min(float64(objectstore.DefaultPutConns)*env.Store.PerConnBandwidth, storeAgg)
+	parts := float64(outputPartRequests(int64(perWorker)))
+	p2 := perWorker/cacheInRate +
+		math.Max(perWorker/wl.MergeBps, perWorker/storeOutRate) +
+		math.Max(clat, fw*fw/cacheProf.ReadOpsPerSec) +
+		math.Max(slat, fw*parts/env.Store.WriteOpsPerSec)
 
 	provision := env.Cache.ProvisionTime
 	if env.CacheWarm || env.CacheStandingNodes > 0 {
@@ -171,7 +194,7 @@ func predictCache(w int, wl Workload, env Env) Candidate {
 	}
 	c.CostUSD = functionUSD(env, w, p1+p2, 2*w) +
 		nodeHoursUSD +
-		storageUSD(env, int64(w), 2+int64(w), 2*wl.DataBytes, c.Time)
+		storageUSD(env, int64(w)*outputPartRequests(int64(perWorker)), 2+int64(w), 2*wl.DataBytes, c.Time)
 	c.Feasible = true
 	return c
 }

@@ -229,3 +229,26 @@ func TestPropertyMultipartEqualsPut(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMultipartUploadPartAfterCompleteFails(t *testing.T) {
+	// Complete retires the upload ID, so a straggling part upload —
+	// the PutStream writer's failure window — must surface
+	// ErrNoSuchUpload instead of silently mutating the final object.
+	svc := newFast(t)
+	runSim(t, svc, func(p *des.Proc) {
+		_ = svc.CreateBucket(p, "b")
+		id, err := svc.CreateMultipartUpload(p, "b", "k")
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if err := svc.UploadPart(p, id, 1, payload.Real([]byte("part one")), 0); err != nil {
+			t.Fatalf("part: %v", err)
+		}
+		if err := svc.CompleteMultipartUpload(p, id); err != nil {
+			t.Fatalf("complete: %v", err)
+		}
+		if err := svc.UploadPart(p, id, 2, payload.Real([]byte("late")), 0); !errors.Is(err, ErrNoSuchUpload) {
+			t.Errorf("part after complete err = %v, want ErrNoSuchUpload", err)
+		}
+	})
+}

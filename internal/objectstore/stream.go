@@ -62,6 +62,7 @@ func (o StreamOptions) withDefaults() StreamOptions {
 type Stream struct {
 	svc  *Service
 	opts StreamOptions
+	size int64 // resolved range length (open-ended requests included)
 
 	ready  []payload.Payload // transferred, not yet consumed (FIFO)
 	err    error             // terminal producer error, after ready drains
@@ -73,10 +74,12 @@ type Stream struct {
 }
 
 // GetStream opens a streaming GET of bytes [off, off+n) of an object
-// (class B: one request admission regardless of chunk count). Chunks
-// after the first model continuations of the same response body: they
-// pay no request latency, but each can draw the service's failure rate
-// (a throttled continuation surfaces as ErrSlowDown from Next, with
+// (class B: one request admission regardless of chunk count). A
+// negative n streams through the end of the object, like an open-ended
+// HTTP range — Size reports the resolved length. Chunks after the
+// first model continuations of the same response body: they pay no
+// request latency, but each can draw the service's failure rate (a
+// throttled continuation surfaces as ErrSlowDown from Next, with
 // already-transferred chunks still delivered first). A stream of one
 // chunk is request-for-request identical to GetRange.
 func (s *Service) GetStream(p *des.Proc, bkt, key string, off, n int64, opts StreamOptions) (*Stream, error) {
@@ -84,12 +87,18 @@ func (s *Service) GetStream(p *des.Proc, bkt, key string, off, n int64, opts Str
 	if err != nil {
 		return nil, err
 	}
+	if n < 0 {
+		n = obj.Payload.Size() - off
+		if n < 0 {
+			n = 0
+		}
+	}
 	rng, err := obj.Payload.Slice(off, n)
 	if err != nil {
 		return nil, fmt.Errorf("get stream %s/%s: %w", bkt, key, err)
 	}
 	opts = opts.withDefaults()
-	st := &Stream{svc: s, opts: opts}
+	st := &Stream{svc: s, opts: opts, size: n}
 	s.streamSeq++
 	name := fmt.Sprintf("objectstore/stream#%d/%s/%s@%d", s.streamSeq, bkt, key, off)
 	s.sim.Spawn(name, func(prod *des.Proc) { st.produce(prod, rng) })
@@ -122,10 +131,12 @@ func (st *Stream) produce(prod *des.Proc, rng payload.Payload) {
 			return
 		}
 		st.svc.transfer(prod, n, st.opts.FlowCap)
+		// The chunk fully traversed the backend link even when the
+		// consumer closed mid-flight: egress is counted regardless.
+		st.svc.metrics.BytesOut += n
 		if st.closed { // consumer gave up while this chunk was in flight
 			return
 		}
-		st.svc.metrics.BytesOut += n
 		off += n
 		st.deliver(pl)
 		for len(st.ready) >= st.opts.Depth && !st.closed {
@@ -153,6 +164,9 @@ func (st *Stream) wakeConsumer() {
 		st.consumer.Wake()
 	}
 }
+
+// Size reports the resolved length of the streamed range.
+func (st *Stream) Size() int64 { return st.size }
 
 // Next returns the next chunk, blocking p until one has been
 // transferred. io.EOF signals the end of the range. A producer error
@@ -202,15 +216,17 @@ func (st *Stream) Close() {
 type ClientStream struct {
 	c        *Client
 	bkt, key string
-	off, n   int64 // remaining undelivered range
+	off, n   int64 // remaining undelivered range (n < 0: through object end)
 	opts     StreamOptions
 	cur      *Stream
 	retries  int
 	backoff  time.Duration
+	base     time.Duration // backoff restart point after a healthy chunk
 }
 
 // GetStream opens a resumable streaming GET of [off, off+n) with
-// retry. Opts.FlowCap of zero inherits the client's FlowCap.
+// retry; a negative n streams through the end of the object.
+// Opts.FlowCap of zero inherits the client's FlowCap.
 func (c *Client) GetStream(p *des.Proc, bkt, key string, off, n int64, opts StreamOptions) (*ClientStream, error) {
 	if opts.FlowCap == 0 {
 		opts.FlowCap = c.FlowCap
@@ -219,7 +235,7 @@ func (c *Client) GetStream(p *des.Proc, bkt, key string, off, n int64, opts Stre
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
-	cs := &ClientStream{c: c, bkt: bkt, key: key, off: off, n: n, opts: opts, backoff: backoff}
+	cs := &ClientStream{c: c, bkt: bkt, key: key, off: off, n: n, opts: opts, backoff: backoff, base: backoff}
 	if err := cs.ensure(p); err != nil {
 		return nil, err
 	}
@@ -241,6 +257,9 @@ func (cs *ClientStream) ensure(p *des.Proc) error {
 		st, err := cs.c.svc.GetStream(p, cs.bkt, cs.key, cs.off, cs.n, cs.opts)
 		if err == nil {
 			cs.cur = st
+			if cs.n < 0 { // open-ended range: pin the resolved length for resumes
+				cs.n = st.Size()
+			}
 			return nil
 		}
 		if !errors.Is(err, ErrSlowDown) {
@@ -276,6 +295,11 @@ func (cs *ClientStream) Next(p *des.Proc) (payload.Payload, error) {
 		case err == nil:
 			cs.off += pl.Size()
 			cs.n -= pl.Size()
+			// A delivered chunk proves the store recovered: restart the
+			// backoff ladder so a later, unrelated throttle doesn't
+			// inherit this one's doubled delay. The MaxRetries budget
+			// stays shared across the stream's whole lifetime.
+			cs.backoff = cs.base
 			return pl, nil
 		case errors.Is(err, io.EOF):
 			return nil, io.EOF

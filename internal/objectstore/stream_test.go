@@ -375,3 +375,64 @@ func TestStreamMetricsMatchBuffered(t *testing.T) {
 		t.Fatalf("ClassBOps delta = %d, want 1 (one ranged GET)", got)
 	}
 }
+
+// TestClientStreamBackoffResetsAfterDeliveredChunk: a delivered chunk
+// proves the store recovered, so a later, unrelated throttle must
+// start from the base backoff instead of inheriting the doubled delay
+// a past recovery climbed to — while the shared MaxRetries budget
+// keeps counting across the stream's whole lifetime.
+func TestClientStreamBackoffResetsAfterDeliveredChunk(t *testing.T) {
+	sim, svc, _ := streamRig(t, fastCfg(), 50000)
+	c := NewClient(svc)
+	sim.Spawn("reader", func(p *des.Proc) {
+		cs, err := c.GetStream(p, "b", "k", 0, 50000, StreamOptions{ChunkBytes: 4096})
+		if err != nil {
+			t.Errorf("GetStream: %v", err)
+			return
+		}
+		defer cs.Close()
+		// A stream that just resumed through several throttled
+		// continuations sits high on the backoff ladder.
+		cs.backoff = cs.base * 16
+		cs.retries = 3
+		if _, err := cs.Next(p); err != nil {
+			t.Errorf("Next: %v", err)
+			return
+		}
+		if cs.backoff != cs.base {
+			t.Errorf("backoff after delivered chunk = %v, want base %v", cs.backoff, cs.base)
+		}
+		if cs.retries != 3 {
+			t.Errorf("retry budget moved to %d on a healthy chunk; it must only reset the delay", cs.retries)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+// TestStreamCountsEgressWhenConsumerClosesMidTransfer: a chunk in
+// flight when the consumer closes still traversed the backend link,
+// so BytesOut must include it — and nothing past it, since the
+// producer stops before starting another chunk.
+func TestStreamCountsEgressWhenConsumerClosesMidTransfer(t *testing.T) {
+	sim, svc, _ := streamRig(t, fastCfg(), 50000)
+	before := svc.Metrics()
+	sim.Spawn("reader", func(p *des.Proc) {
+		st, err := svc.GetStream(p, "b", "k", 0, 50000, StreamOptions{ChunkBytes: 10000})
+		if err != nil {
+			t.Errorf("GetStream: %v", err)
+			return
+		}
+		// Each 10 KB chunk takes 10 ms at 1 MB/s: close while the
+		// first is mid-flight.
+		p.Sleep(time.Millisecond)
+		st.Close()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if got := svc.Metrics().BytesOut - before.BytesOut; got != 10000 {
+		t.Fatalf("BytesOut delta = %d, want exactly the one in-flight chunk (10000)", got)
+	}
+}

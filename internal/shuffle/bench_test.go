@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/faaspipe/faaspipe/internal/bed"
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
 )
 
 // The partition and merge benchmarks mirror internal/bed's
@@ -293,5 +294,34 @@ func BenchmarkReduceMergeLegacy(b *testing.B) {
 		}
 		bed.Sort(all)
 		_ = bed.Marshal(all)
+	}
+}
+
+// BenchmarkReduceStream is the streamed reducer body on the identical
+// workload as BenchmarkReduceMerge: the same 8 sorted runs fed through
+// chunk-fed cursors in 64 KiB chunks — partial trailing lines carried
+// across chunk boundaries in the alternating carry buffers — instead
+// of resident whole-run cursors. The delta between the two is the
+// Go-side cost of the streaming merge machinery; it buys the DES-side
+// transfer/merge/upload overlap, so it must stay small.
+func BenchmarkReduceStream(b *testing.B) {
+	runs, total := benchRuns(b)
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srcs := make([]runSource, len(runs))
+		for j, run := range runs {
+			// payloadSource never parks, so no des process is needed.
+			srcs[j] = &payloadSource{pl: payload.RealNoCopy(run), chunk: 64 << 10}
+		}
+		var out int64
+		sized, _, err := mergeStreamedRuns(nil, srcs, nil, func(key bed.Key, line []byte) error {
+			out += int64(len(line)) + 1
+			return nil
+		})
+		if err != nil || sized || out != total {
+			b.Fatalf("merge: err=%v sized=%v out=%d want %d", err, sized, out, total)
+		}
 	}
 }

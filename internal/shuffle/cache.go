@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/faaspipe/faaspipe/internal/bed"
 	"github.com/faaspipe/faaspipe/internal/cloud/payload"
 	"github.com/faaspipe/faaspipe/internal/des"
 	"github.com/faaspipe/faaspipe/internal/faas"
@@ -239,6 +240,9 @@ func (op *CacheOperator) Sort(p *des.Proc, spec CacheSpec) (CacheResult, error) 
 			OutputPrefix: spec.OutputPrefix,
 			MergeBps:     spec.MergeBps,
 			Batched:      spec.BatchedGets,
+			SliceBytes:   size / int64(workers),
+			ChunkBytes:   spec.StreamChunkBytes,
+			Buffered:     spec.BufferedRead,
 		}
 	}
 	outs, err := op.mapPhase(p, cacheReduceFn, redInputs, spec.Spec)
@@ -307,6 +311,12 @@ type cacheReduceTask struct {
 	OutputPrefix string
 	MergeBps     float64
 	Batched      bool
+	// SliceBytes is the planned per-reducer volume, sizing the adaptive
+	// merge/output chunk; ChunkBytes overrides it when set.
+	SliceBytes int64
+	ChunkBytes int64
+	// Buffered restores the pre-streaming merge + monolithic Put.
+	Buffered bool
 }
 
 // cacheMapHandler consumes its input slice from the object store as a
@@ -377,10 +387,14 @@ func cacheMapHandler(ctx *faas.Ctx, input any) (any, error) {
 }
 
 // cacheReduceHandler Gets its sorted run from every mapper's cache
-// entries, streams a k-way merge over them, writes one globally-ordered
-// part to the object store, and then deletes the consumed entries to
-// release cache memory (after the output write, mirroring the
-// object-storage reducer's retry-safe ordering).
+// entries, streams a k-way merge over them, and writes one
+// globally-ordered part to the object store. The cache has no chunked
+// read API, so the runs arrive resident — the streaming win here is on
+// the way out: merged lines flow into a multipart streaming PUT whose
+// part uploads overlap the remaining merge CPU, and the runs are fed
+// chunk-wise so the CPU charges interleave with those uploads.
+// Consumed entries are deleted after the output write, mirroring the
+// object-storage reducer's retry-safe ordering.
 func cacheReduceHandler(ctx *faas.Ctx, input any) (any, error) {
 	task, ok := input.(*cacheReduceTask)
 	if !ok {
@@ -391,13 +405,14 @@ func cacheReduceHandler(ctx *faas.Ctx, input any) (any, error) {
 		keys[m] = partKey(task.JobID, m, task.ReduceIndex)
 	}
 	var parts []payload.Payload
-	if task.Batched {
+	switch {
+	case task.Batched:
 		var err error
 		parts, err = task.Cache.MGet(ctx.Proc, keys)
 		if err != nil {
 			return nil, fmt.Errorf("shuffle: cache reduce %d mget: %w", task.ReduceIndex, err)
 		}
-	} else {
+	case task.Buffered:
 		parts = make([]payload.Payload, len(keys))
 		for m, key := range keys {
 			pl, err := task.Cache.Get(ctx.Proc, key)
@@ -406,7 +421,93 @@ func cacheReduceHandler(ctx *faas.Ctx, input any) (any, error) {
 			}
 			parts[m] = pl
 		}
+	default:
+		// The cache has no chunked-read API, so the streamed reducer's
+		// transfer-in overlap comes from parallel connections instead:
+		// one Get per run, concurrently, sharing node NICs fairly.
+		parts = make([]payload.Payload, len(keys))
+		errs := make([]error, len(keys))
+		wg := des.NewWaitGroup(ctx.Proc.Sim())
+		for m, key := range keys {
+			m, key := m, key
+			wg.Add(1)
+			ctx.Proc.Spawn(fmt.Sprintf("cache-fetch-%d", m), func(up *des.Proc) {
+				defer wg.Done()
+				parts[m], errs[m] = task.Cache.Get(up, key)
+			})
+		}
+		wg.Wait(ctx.Proc)
+		for m, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("shuffle: cache reduce %d fetch m%d: %w", task.ReduceIndex, m, err)
+			}
+		}
 	}
+	outKey := outputKey(task.OutputPrefix, task.ReduceIndex)
+	if task.Buffered {
+		return cacheReduceBuffered(ctx, task, outKey, keys, parts)
+	}
+
+	perRun := task.SliceBytes
+	if task.Workers > 0 {
+		perRun /= int64(task.Workers)
+	}
+	inChunk := AdaptiveChunkBytes(task.ChunkBytes, perRun)
+	srcs := make([]runSource, len(parts))
+	for i, pl := range parts {
+		srcs[i] = &payloadSource{pl: pl, chunk: inChunk}
+	}
+	outPart := AdaptiveChunkBytes(task.ChunkBytes, task.SliceBytes)
+	w := ctx.Store.PutStream(ctx.Proc, task.OutputBucket, outKey,
+		objectstore.PutStreamOptions{PartBytes: outPart})
+	var buf []byte
+	emit := func(_ bed.Key, line []byte) error {
+		if buf == nil {
+			buf = make([]byte, 0, outPart+int64(len(line))+1)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+		if int64(len(buf)) >= outPart {
+			err := w.Write(ctx.Proc, payload.RealNoCopy(buf))
+			buf = nil // the payload retains the buffer; start a fresh one
+			return err
+		}
+		return nil
+	}
+	charge := func(n int64) { ctx.ComputeBytes(n, task.MergeBps) }
+	sized, total, err := mergeStreamedRuns(ctx.Proc, srcs, charge, emit)
+	if err != nil {
+		w.Abort(ctx.Proc)
+		return nil, fmt.Errorf("shuffle: cache reduce %d merge: %w", task.ReduceIndex, err)
+	}
+	if sized {
+		w.Abort(ctx.Proc)
+		if err := ctx.Store.Put(ctx.Proc, task.OutputBucket, outKey, payload.Sized(total)); err != nil {
+			return nil, fmt.Errorf("shuffle: cache reduce %d write: %w", task.ReduceIndex, err)
+		}
+	} else {
+		if len(buf) > 0 {
+			if err := w.Write(ctx.Proc, payload.RealNoCopy(buf)); err != nil {
+				w.Abort(ctx.Proc)
+				return nil, fmt.Errorf("shuffle: cache reduce %d write: %w", task.ReduceIndex, err)
+			}
+		}
+		if err := w.Close(ctx.Proc); err != nil {
+			return nil, fmt.Errorf("shuffle: cache reduce %d write: %w", task.ReduceIndex, err)
+		}
+	}
+	for m, key := range keys {
+		if err := task.Cache.Delete(ctx.Proc, key); err != nil {
+			return nil, fmt.Errorf("shuffle: cache reduce %d free m%d: %w", task.ReduceIndex, m, err)
+		}
+	}
+	return outKey, nil
+}
+
+// cacheReduceBuffered is the pre-streaming cache reduce body: merge
+// everything, then one monolithic Put. The A/B baseline.
+func cacheReduceBuffered(ctx *faas.Ctx, task *cacheReduceTask, outKey string,
+	keys []string, parts []payload.Payload) (any, error) {
 	var (
 		runs     [][]byte
 		anySized bool
@@ -422,7 +523,6 @@ func cacheReduceHandler(ctx *faas.Ctx, input any) (any, error) {
 	}
 	ctx.ComputeBytes(total, task.MergeBps)
 
-	outKey := outputKey(task.OutputPrefix, task.ReduceIndex)
 	var out payload.Payload
 	if anySized {
 		out = payload.Sized(total)

@@ -319,8 +319,13 @@ func TestCacheProfileScalesWithNodes(t *testing.T) {
 func TestCacheSortBatchedGetsMatchAndAreFaster(t *testing.T) {
 	recs := bed.Generate(bed.GenConfig{Records: 3000, Seed: 18, Sorted: false})
 
+	// The serial baseline is the buffered reduce path: the streamed
+	// default fetches its runs over concurrent connections, which hides
+	// the same per-request latencies MGet batches away.
+	serialSpec := cacheSpec(8)
+	serialSpec.BufferedRead = true
 	serialRig, _, serialOp := newCacheRig(t)
-	serialRes, serialSorted := runCacheSort(t, serialRig, serialOp, recs, cacheSpec(8))
+	serialRes, serialSorted := runCacheSort(t, serialRig, serialOp, recs, serialSpec)
 
 	batchRig, _, batchOp := newCacheRig(t)
 	spec := cacheSpec(8)

@@ -424,14 +424,18 @@ func mergeSplit(runs [][]byte, workers int, bounds []Boundary) ([][]byte, error)
 	return parts, nil
 }
 
-func siftDown(h []*runCursor, i int) {
+func siftDown(h []*runCursor, i int) { siftDownFunc(h, i, cursorLess) }
+
+// siftDownFunc restores the min-heap property below i for any cursor
+// type; shared by the buffered and chunk-fed merges.
+func siftDownFunc[T any](h []T, i int, less func(a, b T) bool) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		min := i
-		if l < len(h) && cursorLess(h[l], h[min]) {
+		if l < len(h) && less(h[l], h[min]) {
 			min = l
 		}
-		if r < len(h) && cursorLess(h[r], h[min]) {
+		if r < len(h) && less(h[r], h[min]) {
 			min = r
 		}
 		if min == i {

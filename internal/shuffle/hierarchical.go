@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/faaspipe/faaspipe/internal/bed"
 	"github.com/faaspipe/faaspipe/internal/cloud/payload"
 	"github.com/faaspipe/faaspipe/internal/des"
 	"github.com/faaspipe/faaspipe/internal/faas"
@@ -205,6 +206,9 @@ func (op *Operator) SortHierarchical(p *des.Proc, spec HierSpec) (HierResult, er
 				Boundaries:    fineFor(g),
 				MergeBps:      spec.MergeBps,
 				Cleanup:       spec.CleanupScratch,
+				SliceBytes:    size / int64(workers),
+				ChunkBytes:    spec.StreamChunkBytes,
+				Buffered:      spec.BufferedRead,
 			})
 		}
 	}
@@ -225,6 +229,9 @@ func (op *Operator) SortHierarchical(p *des.Proc, spec HierSpec) (HierResult, er
 				OutputPrefix:  spec.OutputPrefix,
 				MergeBps:      spec.MergeBps,
 				Cleanup:       spec.CleanupScratch,
+				SliceBytes:    size / int64(workers),
+				ChunkBytes:    spec.StreamChunkBytes,
+				Buffered:      spec.BufferedRead,
 			})
 		}
 	}
@@ -256,6 +263,12 @@ type repartitionTask struct {
 	Boundaries    []Boundary
 	MergeBps      float64
 	Cleanup       bool
+	// SliceBytes is the planned per-worker gather volume, sizing the
+	// adaptive stream chunk; ChunkBytes overrides it when set.
+	SliceBytes int64
+	ChunkBytes int64
+	// Buffered restores the pre-streaming gather (the A/B baseline).
+	Buffered bool
 }
 
 // repartitionHandler gathers its source objects — round-1 partitions,
@@ -274,26 +287,90 @@ func repartitionHandler(ctx *faas.Ctx, input any) (any, error) {
 	}
 	var (
 		consumed []string
-		runs     [][]byte
+		parts    [][]byte
 		total    int64
 		anySized bool
 	)
-	for _, key := range task.SourceKeys {
-		pl, err := ctx.Store.Get(ctx.Proc, task.SourceBucket, key)
+	if task.Buffered {
+		var runs [][]byte
+		for _, key := range task.SourceKeys {
+			pl, err := ctx.Store.Get(ctx.Proc, task.SourceBucket, key)
+			if err != nil {
+				return nil, fmt.Errorf("shuffle: repartition %d fetch %s: %w", task.MapIndex, key, err)
+			}
+			if task.Cleanup {
+				consumed = append(consumed, key)
+			}
+			total += pl.Size()
+			if raw, real := pl.Bytes(); real {
+				runs = append(runs, raw)
+			} else {
+				anySized = true
+			}
+		}
+		ctx.ComputeBytes(total, task.MergeBps)
+		if !anySized {
+			var err error
+			parts, err = mergeSplit(runs, task.Workers, task.Boundaries)
+			if err != nil {
+				return nil, fmt.Errorf("shuffle: repartition %d merge: %w", task.MapIndex, err)
+			}
+		}
+	} else {
+		// Streamed gather: open a chunked stream per source run and
+		// merge-split as the chunks arrive, so the g transfers overlap
+		// each other and the merge CPU. The merge emits lines in
+		// ascending order, so the boundary routing cursor only moves
+		// right — every output partition is a sorted run by construction.
+		perRun := task.SliceBytes
+		if len(task.SourceKeys) > 0 {
+			perRun /= int64(len(task.SourceKeys))
+		}
+		inChunk := AdaptiveChunkBytes(task.ChunkBytes, perRun)
+		srcs := make([]runSource, 0, len(task.SourceKeys))
+		closeSrcs := func() {
+			for _, s := range srcs {
+				s.close()
+			}
+		}
+		for _, key := range task.SourceKeys {
+			cs, err := ctx.Store.GetStream(ctx.Proc, task.SourceBucket, key, 0, -1,
+				objectstore.StreamOptions{ChunkBytes: inChunk})
+			if err != nil {
+				closeSrcs()
+				return nil, fmt.Errorf("shuffle: repartition %d open %s: %w", task.MapIndex, key, err)
+			}
+			srcs = append(srcs, clientStreamSource{cs})
+			if task.Cleanup {
+				consumed = append(consumed, key)
+			}
+		}
+		parts = make([][]byte, task.Workers)
+		hint := 0
+		if task.Workers > 0 && task.SliceBytes > 0 {
+			hint = int(task.SliceBytes)/task.Workers + int(task.SliceBytes)/(4*task.Workers)
+		}
+		cur := 0
+		emit := func(key bed.Key, line []byte) error {
+			for cur < len(task.Boundaries) &&
+				bed.CompareKeyName(task.Boundaries[cur].Key, task.Boundaries[cur].Name, key, chromOf(line)) <= 0 {
+				cur++
+			}
+			if parts[cur] == nil {
+				parts[cur] = make([]byte, 0, hint)
+			}
+			parts[cur] = append(parts[cur], line...)
+			parts[cur] = append(parts[cur], '\n')
+			return nil
+		}
+		charge := func(n int64) { ctx.ComputeBytes(n, task.MergeBps) }
+		var err error
+		anySized, total, err = mergeStreamedRuns(ctx.Proc, srcs, charge, emit)
+		closeSrcs()
 		if err != nil {
-			return nil, fmt.Errorf("shuffle: repartition %d fetch %s: %w", task.MapIndex, key, err)
-		}
-		if task.Cleanup {
-			consumed = append(consumed, key)
-		}
-		total += pl.Size()
-		if raw, real := pl.Bytes(); real {
-			runs = append(runs, raw)
-		} else {
-			anySized = true
+			return nil, fmt.Errorf("shuffle: repartition %d merge: %w", task.MapIndex, err)
 		}
 	}
-	ctx.ComputeBytes(total, task.MergeBps)
 
 	if anySized {
 		// Sized mode: even split of the gathered volume.
@@ -310,10 +387,6 @@ func repartitionHandler(ctx *faas.Ctx, input any) (any, error) {
 			}
 		}
 	} else {
-		parts, err := mergeSplit(runs, task.Workers, task.Boundaries)
-		if err != nil {
-			return nil, fmt.Errorf("shuffle: repartition %d merge: %w", task.MapIndex, err)
-		}
 		for r := 0; r < task.Workers; r++ {
 			if err := ctx.Store.Put(ctx.Proc, task.ScratchBucket,
 				partKey(task.JobID, task.MapIndex, r), payload.RealNoCopy(parts[r])); err != nil {
@@ -361,17 +434,31 @@ func PredictHierarchical(w, g int, in PlanInput, sp StoreProfile) Plan {
 	ioR1 := math.Max(perWorker/rate, perWorker/streamBps) + perWorker/rate + reqR1 + lat
 	cpuR1 := perWorker / sortBps
 
-	// Round 2a: gather g sorted runs, merge-split into k partitions.
-	// The repartitioner is a cursor merge (it re-sorts nothing), so its
-	// CPU leg runs at the merge rate, not the parse+sort partition rate.
-	reqR2a := math.Max((fg+k)*lat, (fw*fg+fw*k)/sp.ReadOpsPerSec)
-	ioR2a := perWorker/rate + perWorker/rate + reqR2a
-	cpuR2a := perWorker / in.MergeBps
+	// Reduce-side streams run their fan-in concurrently; each leg is
+	// capped by its connection count or the worker's aggregate share.
+	aggShare := math.Inf(1)
+	if sp.AggregateBandwidth > 0 {
+		aggShare = sp.AggregateBandwidth / fw
+	}
 
-	// Round 2b: gather k partitions, merge, write one output.
-	reqR2b := math.Max(k*lat, fw*k/sp.ReadOpsPerSec)
-	ioR2b := perWorker/rate + perWorker/rate + reqR2b + lat
-	cpuR2b := perWorker / in.MergeBps
+	// Round 2a: stream g sorted runs into the merge-split cursor — the
+	// gather overlaps the cursor's CPU (it re-sorts nothing, so the CPU
+	// leg runs at the merge rate) — then write k partitions buffered.
+	inR2a := math.Min(fg*sp.PerConnBandwidth, aggShare)
+	reqR2a := math.Max((fg+k)*lat, (fw*fg+fw*k)/sp.ReadOpsPerSec)
+	ioR2a := math.Max(perWorker/inR2a, perWorker/in.MergeBps) + perWorker/rate + reqR2a
+	cpuR2a := 0.0
+
+	// Round 2b: stream k partitions into the final merge while the
+	// output leaves through the multipart PutStream writer — the full
+	// max(in, merge, out) overlap.
+	inR2b := math.Min(k*sp.PerConnBandwidth, aggShare)
+	outR2b := math.Min(float64(objectstore.DefaultPutConns)*sp.PerConnBandwidth, aggShare)
+	parts := float64(objectstore.PutStreamRequests(int64(perWorker), AdaptiveChunkBytes(0, int64(perWorker))))
+	reqR2b := math.Max(k*lat, math.Max(fw*k/sp.ReadOpsPerSec, fw*parts/sp.WriteOpsPerSec))
+	ioR2b := math.Max(perWorker/inR2b, math.Max(perWorker/in.MergeBps, perWorker/outR2b)) +
+		reqR2b + lat
+	cpuR2b := 0.0
 
 	p := Plan{
 		Workers:   w,

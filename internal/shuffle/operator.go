@@ -241,6 +241,9 @@ func (op *Operator) Sort(p *des.Proc, spec Spec) (Result, error) {
 			OutputPrefix:  spec.OutputPrefix,
 			MergeBps:      spec.MergeBps,
 			Cleanup:       spec.CleanupScratch,
+			SliceBytes:    size / int64(workers),
+			ChunkBytes:    spec.StreamChunkBytes,
+			Buffered:      spec.BufferedRead,
 		}
 	}
 	outs, err := op.mapPhase(p, reduceFn, redInputs, spec)
@@ -397,6 +400,13 @@ type reduceTask struct {
 	OutputPrefix  string
 	MergeBps      float64
 	Cleanup       bool
+	// SliceBytes is the planned per-reducer input volume, sizing the
+	// adaptive stream chunk; ChunkBytes overrides it when set.
+	SliceBytes int64
+	ChunkBytes int64
+	// Buffered restores the pre-streaming reduce: buffer every run,
+	// merge, one monolithic Put. The A/B baseline.
+	Buffered bool
 }
 
 // mapHandler consumes its input slice as a stream of chunks,
@@ -541,15 +551,104 @@ func mapSized(ctx *faas.Ctx, task *mapTask) (any, error) {
 	return nil, nil
 }
 
-// reduceHandler fetches its sorted run from every mapper, streams a
-// k-way merge over them, and writes one globally-ordered output part —
-// no re-parse of full records, no re-sort, no re-serialization. It
-// returns the output key.
+// reduceHandler opens a chunked stream over every mapper's sorted run
+// and k-way merges them as the chunks arrive, the merged lines flowing
+// straight into a multipart streaming PUT — transfer-in, merge CPU, and
+// transfer-out all overlap, so the reduce leg costs their max instead
+// of their sum. No re-parse of full records, no re-sort, no
+// re-serialization. It returns the output key. Buffered tasks keep the
+// pre-streaming fetch-all-then-merge body.
 func reduceHandler(ctx *faas.Ctx, input any) (any, error) {
 	task, ok := input.(*reduceTask)
 	if !ok {
 		return nil, fmt.Errorf("shuffle: reduce input %T", input)
 	}
+	if task.Buffered {
+		return reduceBuffered(ctx, task)
+	}
+	perRun := task.SliceBytes
+	if task.Workers > 0 {
+		perRun /= int64(task.Workers)
+	}
+	inChunk := AdaptiveChunkBytes(task.ChunkBytes, perRun)
+	srcs := make([]runSource, 0, task.Workers)
+	defer func() {
+		for _, s := range srcs {
+			s.close()
+		}
+	}()
+	var consumed []string
+	for m := 0; m < task.Workers; m++ {
+		key := partKey(task.JobID, m, task.ReduceIndex)
+		cs, err := ctx.Store.GetStream(ctx.Proc, task.ScratchBucket, key, 0, -1,
+			objectstore.StreamOptions{ChunkBytes: inChunk})
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: reduce %d open m%d: %w", task.ReduceIndex, m, err)
+		}
+		srcs = append(srcs, clientStreamSource{cs})
+		if task.Cleanup {
+			consumed = append(consumed, key)
+		}
+	}
+
+	outKey := outputKey(task.OutputPrefix, task.OutputIndex)
+	outPart := AdaptiveChunkBytes(task.ChunkBytes, task.SliceBytes)
+	w := ctx.Store.PutStream(ctx.Proc, task.OutputBucket, outKey,
+		objectstore.PutStreamOptions{PartBytes: outPart})
+	var buf []byte
+	emit := func(_ bed.Key, line []byte) error {
+		if buf == nil {
+			buf = make([]byte, 0, outPart+int64(len(line))+1)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+		if int64(len(buf)) >= outPart {
+			err := w.Write(ctx.Proc, payload.RealNoCopy(buf))
+			buf = nil // the payload retains the buffer; start a fresh one
+			return err
+		}
+		return nil
+	}
+	charge := func(n int64) { ctx.ComputeBytes(n, task.MergeBps) }
+	sized, total, err := mergeStreamedRuns(ctx.Proc, srcs, charge, emit)
+	if err != nil {
+		w.Abort(ctx.Proc)
+		return nil, fmt.Errorf("shuffle: reduce %d merge: %w", task.ReduceIndex, err)
+	}
+	if sized {
+		w.Abort(ctx.Proc)
+		if err := ctx.Store.Put(ctx.Proc, task.OutputBucket, outKey, payload.Sized(total)); err != nil {
+			return nil, fmt.Errorf("shuffle: reduce %d write: %w", task.ReduceIndex, err)
+		}
+	} else {
+		if len(buf) > 0 {
+			if err := w.Write(ctx.Proc, payload.RealNoCopy(buf)); err != nil {
+				w.Abort(ctx.Proc)
+				return nil, fmt.Errorf("shuffle: reduce %d write: %w", task.ReduceIndex, err)
+			}
+		}
+		if err := w.Close(ctx.Proc); err != nil {
+			return nil, fmt.Errorf("shuffle: reduce %d write: %w", task.ReduceIndex, err)
+		}
+	}
+	// Scratch deletes are deferred until the output part is durable: a
+	// reducer retried after a transient platform failure (MaxRetries)
+	// must be able to re-fetch every partition, so nothing may be
+	// deleted by an attempt that did not finish. Close returning nil is
+	// the durability point — the multipart complete has been admitted.
+	for m, key := range consumed {
+		if err := ctx.Store.Delete(ctx.Proc, task.ScratchBucket, key); err != nil {
+			return nil, fmt.Errorf("shuffle: reduce %d free m%d: %w", task.ReduceIndex, m, err)
+		}
+	}
+	return outKey, nil
+}
+
+// reduceBuffered is the pre-streaming reduce body: fetch every run
+// whole, merge, one monolithic Put. Transfer-in, merge CPU, and
+// transfer-out add up serially; kept behind Spec.BufferedRead as the
+// A/B baseline the byte-identity tests pin the streamed path against.
+func reduceBuffered(ctx *faas.Ctx, task *reduceTask) (any, error) {
 	var (
 		runs     [][]byte
 		consumed []string

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"github.com/faaspipe/faaspipe/internal/objectstore"
 )
 
 // StoreProfile summarizes the object storage performance model the
@@ -83,7 +85,10 @@ type Plan struct {
 // partitionCPU), and only the per-partition radix sort
 // (mapSortShare of the partition budget) runs after the transfer —
 // then writes w intermediate objects. Phase 2 (reduce): each worker
-// reads w intermediates (data/w total), merges, writes one output.
+// streams its w intermediates (data/w total) into the k-way merge over
+// w concurrent connections while the merged output leaves through the
+// multipart PutStream writer, so the whole leg costs
+// max(transfer-in, mergeCPU, transfer-out) plus the request terms.
 // Transfers run at min(per-connection ceiling, aggregate/w); the w^2
 // requests of each phase pay per-request latency serially per worker
 // and are jointly subject to the service's ops throttle — the term
@@ -92,7 +97,9 @@ type Plan struct {
 // In the returned Plan, Phase1IO carries the whole streaming leg
 // (transfer and partition CPU overlapped) plus the request terms and
 // the partition-write leg; Phase1CPU is only the post-stream sort, so
-// the component sum still equals the worker's wall time.
+// the component sum still equals the worker's wall time. Phase2IO
+// carries the fully-overlapped reduce leg and Phase2CPU is zero: the
+// merge has no post-stream work.
 func Predict(w int, in PlanInput, sp StoreProfile) Plan {
 	in = in.withDefaults()
 	d := float64(in.DataBytes)
@@ -113,9 +120,21 @@ func Predict(w int, in PlanInput, sp StoreProfile) Plan {
 	ioP1 := streamLeg + perWorker/rate /* write partitions */ + reqP1 + lat
 	cpuP1 := perWorker / sortBps // post-stream per-partition sort
 
-	reqP2 := math.Max(fw*lat, fw*fw/sp.ReadOpsPerSec)
-	ioP2 := perWorker/rate /* read w partitions */ + perWorker/rate /* write output */ + reqP2 + lat
-	cpuP2 := perWorker / in.MergeBps
+	// Reduce-in runs w streams concurrently and reduce-out uploads
+	// completed parts on DefaultPutConns connections, so each direction
+	// is capped by its connection fan-out or the worker's aggregate
+	// share, whichever binds first.
+	aggShare := math.Inf(1)
+	if sp.AggregateBandwidth > 0 {
+		aggShare = sp.AggregateBandwidth / fw
+	}
+	inRate := math.Min(fw*sp.PerConnBandwidth, aggShare)
+	outRate := math.Min(float64(objectstore.DefaultPutConns)*sp.PerConnBandwidth, aggShare)
+	parts := float64(objectstore.PutStreamRequests(int64(perWorker), AdaptiveChunkBytes(0, int64(perWorker))))
+	reqP2 := math.Max(fw*lat, math.Max(fw*fw/sp.ReadOpsPerSec, fw*parts/sp.WriteOpsPerSec))
+	ioP2 := math.Max(perWorker/inRate, math.Max(perWorker/in.MergeBps, perWorker/outRate)) +
+		reqP2 + lat
+	cpuP2 := 0.0
 
 	toDur := func(s float64) time.Duration {
 		return time.Duration(s * float64(time.Second))

@@ -165,7 +165,7 @@ func (r mapRead) span() (readOff, readLen int64, prefixByte bool) {
 func consumeMapStream(ctx *faas.Ctx, r mapRead, workers int, bounds []Boundary) (parts [][]byte, sized bool, err error) {
 	readOff, readLen, prefixByte := r.span()
 	st, err := ctx.Store.GetStream(ctx.Proc, r.Bucket, r.Key, readOff, readLen,
-		objectstore.StreamOptions{ChunkBytes: r.ChunkBytes})
+		objectstore.StreamOptions{ChunkBytes: AdaptiveChunkBytes(r.ChunkBytes, r.Length)})
 	if err != nil {
 		return nil, false, err
 	}
