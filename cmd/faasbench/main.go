@@ -16,6 +16,7 @@
 //	faasbench -experiment planner
 //	faasbench -experiment autoplan [-data 3.5]
 //	faasbench -experiment multijob [-data 3.5] [-jobs 3]
+//	faasbench -experiment gateway [-tenants 100] [-submissions 10000]
 //	faasbench -experiment all
 //	faasbench -auto [-data 3.5]
 //
@@ -26,6 +27,11 @@
 // The multijob experiment exercises the session runtime: N submissions
 // sharing one warm cache cluster against the same N jobs in
 // independent sessions, with standing-cost attribution.
+//
+// The gateway experiment pushes an open-loop multi-tenant mix through
+// the admission gateway (auth, rate limits, weighted fair-share) on
+// one shared session, including a hammer-free control run for the p99
+// isolation comparison.
 package main
 
 import (
@@ -41,22 +47,24 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "table1",
-			"one of: table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, autoplan, multijob, all")
-		dataGB  = flag.Float64("data", 3.5, "dataset size in GB")
-		workers = flag.Int("workers", 8, "parallelism degree")
-		jobs    = flag.Int("jobs", 3, "submission count for the multijob experiment")
-		trace   = flag.Bool("trace", false, "print per-stage timelines (table1)")
-		auto    = flag.Bool("auto", false,
+			"one of: table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, autoplan, multijob, gateway, all")
+		dataGB      = flag.Float64("data", 3.5, "dataset size in GB")
+		workers     = flag.Int("workers", 8, "parallelism degree")
+		jobs        = flag.Int("jobs", 3, "submission count for the multijob experiment")
+		tenants     = flag.Int("tenants", 100, "tenant count for the gateway experiment")
+		submissions = flag.Int("submissions", 10000, "open-loop submission count for the gateway experiment")
+		trace       = flag.Bool("trace", false, "print per-stage timelines (table1)")
+		auto        = flag.Bool("auto", false,
 			"engage the auto-planner: print its decision table and add the auto-planned row to table1")
 	)
 	flag.Parse()
-	if err := run(*experiment, *dataGB, *workers, *jobs, *trace, *auto); err != nil {
+	if err := run(*experiment, *dataGB, *workers, *jobs, *tenants, *submissions, *trace, *auto); err != nil {
 		fmt.Fprintln(os.Stderr, "faasbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, dataGB float64, workers, jobs int, trace, auto bool) error {
+func run(experiment string, dataGB float64, workers, jobs, tenants, submissions int, trace, auto bool) error {
 	profile := calib.Paper()
 	dataBytes := int64(dataGB * 1e9)
 
@@ -196,6 +204,14 @@ func run(experiment string, dataGB float64, workers, jobs int, trace, auto bool)
 		fmt.Println(res)
 		return nil
 	}
+	gatewayFn := func() error {
+		res, err := experiments.Gateway(profile, tenants, submissions)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	}
 
 	switch experiment {
 	case "table1":
@@ -224,13 +240,15 @@ func run(experiment string, dataGB float64, workers, jobs int, trace, auto bool)
 		return autoplanFn()
 	case "multijob":
 		return multijob()
+	case "gateway":
+		return gatewayFn()
 	case "all":
 		// The trailing autoplan step is the decision table only: table1
 		// already ran the measured rows (with -auto it runs the full
 		// autoplan experiment, decision table included), so re-running
 		// Table1Auto here would re-simulate the most expensive part of
 		// the sweep.
-		steps := []func() error{table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, multijob}
+		steps := []func() error{table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, multijob, gatewayFn}
 		if !auto {
 			steps = append(steps, decide)
 		}

@@ -48,6 +48,30 @@ func (tb *TokenBucket) refill() {
 	}
 }
 
+// Burst reports the bucket capacity.
+func (tb *TokenBucket) Burst() float64 { return tb.burst }
+
+// TryTake takes n tokens if they are available right now, without
+// waiting. It preserves Take's FIFO discipline: while any Take is
+// admitted or queued on the gate, TryTake fails rather than overtake
+// the waiters. Non-positive requests always succeed. This is the
+// admission-control primitive: a gateway rejecting over-rate traffic
+// must not block the submitter the way a paced transfer does.
+func (tb *TokenBucket) TryTake(n float64) bool {
+	if n <= 0 {
+		return true
+	}
+	if tb.gate.InUse() > 0 || tb.gate.Queued() > 0 {
+		return false
+	}
+	tb.refill()
+	if tb.tokens < n {
+		return false
+	}
+	tb.tokens -= n
+	return true
+}
+
 // Take blocks p until n tokens have been granted. Calls are admitted
 // FIFO; a waiter never observes tokens taken by a later requester.
 func (tb *TokenBucket) Take(p *Proc, n float64) {

@@ -102,6 +102,114 @@ func TestTokenBucketLargeTakeOverdraws(t *testing.T) {
 	}
 }
 
+// TestTokenBucketSubTokenRefill: at rates below 1 token/s — the band
+// an admission controller assigns an abusive tenant — fractional
+// refill must accumulate correctly instead of rounding to zero.
+func TestTokenBucketSubTokenRefill(t *testing.T) {
+	s := New(1)
+	tb := NewTokenBucket(s, 0.5, 1) // one token every 2s
+	var times []time.Duration
+	s.Spawn("t", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			tb.Take(p, 1)
+			times = append(times, p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []time.Duration{0, 2 * time.Second, 4 * time.Second, 6 * time.Second}
+	for i := range want {
+		if d := times[i] - want[i]; d < -10*time.Millisecond || d > 10*time.Millisecond {
+			t.Fatalf("take %d admitted at %v, want ~%v (all: %v)", i, times[i], want[i], times)
+		}
+	}
+}
+
+// TestTokenBucketTryTake: the non-blocking path takes only what has
+// accrued, never overtakes queued blocking takers, and resumes
+// granting after the refill catches up.
+func TestTokenBucketTryTake(t *testing.T) {
+	s := New(1)
+	tb := NewTokenBucket(s, 10, 2)
+	s.Spawn("t", func(p *Proc) {
+		if !tb.TryTake(2) {
+			t.Error("burst TryTake failed")
+		}
+		if tb.TryTake(1) {
+			t.Error("TryTake granted from an empty bucket")
+		}
+		p.Sleep(100 * time.Millisecond) // refills exactly 1 token
+		if !tb.TryTake(1) {
+			t.Error("TryTake failed after refill")
+		}
+		if tb.TryTake(0.0001) {
+			t.Error("TryTake granted immediately after draining")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestTokenBucketTryTakeYieldsToWaiters: a blocked Take holds the FIFO
+// gate; TryTake must fail rather than steal the tokens the sleeping
+// waiter has been promised.
+func TestTokenBucketTryTakeYieldsToWaiters(t *testing.T) {
+	s := New(1)
+	tb := NewTokenBucket(s, 1, 1)
+	var takerDone time.Duration
+	s.Spawn("taker", func(p *Proc) {
+		tb.Take(p, 1) // burst
+		tb.Take(p, 1) // waits 1s for refill
+		takerDone = p.Now()
+	})
+	s.Spawn("opportunist", func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			p.Sleep(100 * time.Millisecond)
+			if tb.TryTake(1) {
+				t.Errorf("TryTake overtook a queued Take at %v", p.Now())
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if d := takerDone - time.Second; d < -10*time.Millisecond || d > 10*time.Millisecond {
+		t.Fatalf("queued taker admitted at %v, want ~1s", takerDone)
+	}
+}
+
+// TestTokenBucketConcurrentTakersAggregateRate: many processes
+// hammering one bucket — the gateway's 100-tenant shape — are admitted
+// at exactly the configured aggregate rate, FIFO, with no token lost
+// or minted by interleaved refills.
+func TestTokenBucketConcurrentTakersAggregateRate(t *testing.T) {
+	s := New(1)
+	tb := NewTokenBucket(s, 50, 1)
+	const takers, each = 20, 10
+	admitted := 0
+	for i := 0; i < takers; i++ {
+		s.Spawn(fmt.Sprintf("c%d", i), func(p *Proc) {
+			for k := 0; k < each; k++ {
+				tb.Take(p, 1)
+				admitted++
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if admitted != takers*each {
+		t.Fatalf("admitted %d, want %d", admitted, takers*each)
+	}
+	elapsed := s.Now().Seconds()
+	want := float64(takers*each-1) / 50 // first op rides the burst
+	if math.Abs(elapsed-want) > 0.05 {
+		t.Fatalf("%d ops at 50/s took %.3fs, want ~%.3fs", takers*each, elapsed, want)
+	}
+}
+
 func TestTokenBucketZeroTakeNoop(t *testing.T) {
 	s := New(1)
 	tb := NewTokenBucket(s, 1, 1)

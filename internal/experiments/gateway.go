@@ -1,0 +1,386 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/calib"
+	"github.com/faaspipe/faaspipe/internal/cloud/payload"
+	"github.com/faaspipe/faaspipe/internal/core"
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/gateway"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+	"github.com/faaspipe/faaspipe/internal/session"
+)
+
+// The gateway experiment's traffic mix. Three tenant classes share one
+// session through the gateway's admission stack:
+//
+//   - premium: high weight, generous rate — the paying bulk users.
+//   - standard: weight 1, comfortable rate — the long tail.
+//   - hammer: a deliberately tight rate limit hit by a hot arrival
+//     share, so most of its traffic is rejected at the door. The
+//     experiment's isolation claim is that this rejection is free for
+//     everyone else: the standard class's p99 sojourn with the hammer
+//     class present matches a baseline run with it removed.
+const (
+	gwArrivalPerSec = 150.0                  // open-loop aggregate arrival rate
+	gwServiceMean   = 300 * time.Millisecond // exp-distributed job occupancy
+	gwResultBytes   = 256 << 10              // per-job result object
+
+	gwPremiumShare = 0.3 // of arrivals
+	gwHammerShare  = 0.2
+)
+
+// GatewayClass summarizes one tenant class after the run.
+type GatewayClass struct {
+	Name    string
+	Tenants int
+
+	Submitted     int64
+	Admitted      int64
+	RejectedRate  int64
+	RejectedQueue int64
+	Completed     int64
+
+	// P50 / P99 are sojourn quantiles (admission to completion) over
+	// the class's completed jobs.
+	P50, P99 time.Duration
+
+	// USD is the class's attributed bill: metered plus standing share.
+	USD float64
+}
+
+// GatewayResult is the multi-tenant gateway experiment: an open-loop
+// 100-tenant mix pushed through authenticated admission, fair-share
+// scheduling and ranged result serving on one shared session.
+type GatewayResult struct {
+	Tenants     int
+	Submissions int
+
+	// Makespan is the virtual time from first arrival to last
+	// completion; Throughput is completions over that window.
+	Makespan   time.Duration
+	Throughput float64
+
+	Classes []GatewayClass
+
+	// Rounds / Starved are the fair-share scheduler's counters; Starved
+	// must be zero.
+	Rounds  int64
+	Starved int64
+
+	// AttributedUSD (the sum of tenant ledgers) must equal SessionUSD
+	// (the fronted session's own closing bill) to rounding.
+	AttributedUSD float64
+	SessionUSD    float64
+
+	// BaselineStandardP99 is the standard class's p99 from a control
+	// run with the hammer class's arrivals removed: the isolation
+	// reference for Classes' standard P99.
+	BaselineStandardP99 time.Duration
+
+	// ServedBytes counts result bytes delivered through the ranged
+	// serving path after the run; ForbiddenBlocked records that a
+	// cross-tenant read was refused.
+	ServedBytes      int64
+	ForbiddenBlocked bool
+}
+
+// gwClassOf maps a tenant index to its class given the class sizes.
+func gwClassOf(i, premium, hammer int) string {
+	switch {
+	case i < premium:
+		return "premium"
+	case i < premium+hammer:
+		return "hammer"
+	default:
+		return "standard"
+	}
+}
+
+// gwMixRun is one full arrival-to-serving pass; withHammer toggles the
+// hammer class's traffic (the control run drops those arrivals at the
+// source, leaving everyone else's arrival process untouched).
+type gwMixRun struct {
+	report   gateway.Report
+	sojourns map[string][]time.Duration // class -> completed sojourns
+	makespan time.Duration
+	served   int64
+	blocked  bool
+}
+
+func runGatewayMix(profile calib.Profile, tenants, submissions int, withHammer bool) (gwMixRun, error) {
+	var out gwMixRun
+	premium := tenants / 10
+	if premium < 1 {
+		premium = 1
+	}
+	hammer := tenants / 20
+	if hammer < 1 {
+		hammer = 1
+	}
+	if premium+hammer >= tenants {
+		return out, fmt.Errorf("experiments: gateway needs more than %d tenants", premium+hammer)
+	}
+	standard := tenants - premium - hammer
+
+	sess, err := session.Open(profile, session.Options{WarmCacheNodes: 1})
+	if err != nil {
+		return out, fmt.Errorf("experiments: gateway open: %w", err)
+	}
+	auth := gateway.HMACAuth{Secret: []byte("gateway-experiment")}
+	g := gateway.New(sess, auth, gateway.Options{MaxConcurrent: 48})
+
+	ids := make([]string, tenants)
+	creds := make([]gateway.Credential, tenants)
+	for i := 0; i < tenants; i++ {
+		ids[i] = fmt.Sprintf("t%03d", i)
+		creds[i] = gateway.Credential{TenantID: ids[i], MAC: auth.Tag(ids[i])}
+		var cfg gateway.TenantConfig
+		switch gwClassOf(i, premium, hammer) {
+		case "premium":
+			cfg = gateway.TenantConfig{Weight: 4, MaxConcurrent: 8, RatePerSec: 50, MaxQueued: 128}
+		case "hammer":
+			// ~2% of tenants carrying ~20% of arrivals against a 2/s
+			// limit: the class exists to be rejected.
+			cfg = gateway.TenantConfig{Weight: 1, MaxConcurrent: 2, RatePerSec: 2, Burst: 4, MaxQueued: 32}
+		default:
+			cfg = gateway.TenantConfig{Weight: 1, MaxConcurrent: 4, RatePerSec: 20, MaxQueued: 64}
+		}
+		if err := g.RegisterTenant(ids[i], cfg); err != nil {
+			return out, err
+		}
+	}
+
+	rig := sess.Rig()
+	type done struct {
+		class string
+		tk    *gateway.Ticket
+	}
+	var (
+		tickets  []done
+		lastKey  = make(map[int]string)
+		driveErr error
+	)
+	rig.Sim.Spawn("open-loop", func(p *des.Proc) {
+		c := objectstore.NewClient(rig.Store)
+		if err := c.CreateBucket(p, "results"); err != nil {
+			driveErr = err
+			return
+		}
+		rng := p.Rand()
+		for i := 0; i < submissions; i++ {
+			p.Sleep(time.Duration(rng.ExpFloat64() * float64(time.Second) / gwArrivalPerSec))
+			// Pick the arrival's tenant: class by traffic share, tenant
+			// uniformly within the class.
+			var ti int
+			switch u := rng.Float64(); {
+			case u < gwPremiumShare:
+				ti = rng.Intn(premium)
+			case u < gwPremiumShare+gwHammerShare:
+				ti = premium + rng.Intn(hammer)
+				if !withHammer {
+					continue // control run: hammer traffic never arrives
+				}
+			default:
+				ti = premium + hammer + rng.Intn(standard)
+			}
+			class := gwClassOf(ti, premium, hammer)
+			key := g.ResultKey(ids[ti], fmt.Sprintf("job-%06d", i))
+			occupy := time.Duration(rng.ExpFloat64() * float64(gwServiceMean))
+			tk, err := g.Submit(p, creds[ti], gwJob(key, occupy))
+			if err != nil {
+				if errors.Is(err, gateway.ErrRateLimited) || errors.Is(err, gateway.ErrQueueFull) {
+					continue // rejections are the experiment, not a failure
+				}
+				driveErr = err
+				return
+			}
+			tickets = append(tickets, done{class, tk})
+			lastKey[ti] = key
+		}
+		g.Drain(p)
+
+		// Serving leg: each class's first tenant reads a range of its
+		// last result through the gateway; one cross-tenant read must
+		// bounce.
+		for ti, key := range lastKey {
+			if ti >= 3 && ti != premium && ti != premium+hammer {
+				continue
+			}
+			pl, err := g.ServeResult(p, creds[ti], key, 1024, 8192)
+			if err != nil {
+				driveErr = fmt.Errorf("serve %s: %w", key, err)
+				return
+			}
+			out.served += pl.Size()
+		}
+		for ti, key := range lastKey {
+			thief := (ti + 1) % tenants
+			_, err := g.ServeResult(p, creds[thief], key, 0, -1)
+			if !errors.Is(err, gateway.ErrForbidden) {
+				driveErr = fmt.Errorf("cross-tenant read of %s returned %v, want ErrForbidden", key, err)
+				return
+			}
+			out.blocked = true
+			break
+		}
+	})
+	if err := rig.Sim.Run(); err != nil {
+		return out, fmt.Errorf("experiments: gateway sim: %w", err)
+	}
+	if driveErr != nil {
+		return out, fmt.Errorf("experiments: gateway: %w", driveErr)
+	}
+
+	out.sojourns = make(map[string][]time.Duration)
+	var first, last time.Duration
+	for i, d := range tickets {
+		if !d.tk.Done() {
+			return out, fmt.Errorf("experiments: gateway ticket %d not done after drain", i)
+		}
+		out.sojourns[d.class] = append(out.sojourns[d.class], d.tk.Sojourn())
+		if i == 0 || d.tk.Submitted < first {
+			first = d.tk.Submitted
+		}
+		if d.tk.Finished > last {
+			last = d.tk.Finished
+		}
+	}
+	out.makespan = last - first
+	out.report, err = g.Close()
+	if err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// gwJob is the synthetic tenant workload: occupy the rig for the drawn
+// service time, then publish a result object for the serving leg.
+func gwJob(key string, occupy time.Duration) session.Job {
+	w := core.NewWorkflow("gwjob")
+	if err := w.Add(&core.FuncStage{StageName: "work", Fn: func(ctx *core.StageContext) error {
+		ctx.Proc.Sleep(occupy)
+		c := objectstore.NewClient(ctx.Exec.Store)
+		return c.Put(ctx.Proc, "results", key, payload.Sized(gwResultBytes))
+	}}); err != nil {
+		panic(err) // static workflow construction cannot fail
+	}
+	return session.WorkflowJob(w, nil)
+}
+
+// gwPercentile returns the q-quantile by nearest rank.
+func gwPercentile(durs []time.Duration, q float64) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Gateway runs the multi-tenant gateway experiment (defaults: 100
+// tenants, 10000 submissions) plus the hammer-free control run for the
+// isolation comparison.
+func Gateway(profile calib.Profile, tenants, submissions int) (GatewayResult, error) {
+	if tenants <= 0 {
+		tenants = 100
+	}
+	if submissions <= 0 {
+		submissions = 10000
+	}
+	res := GatewayResult{Tenants: tenants, Submissions: submissions}
+
+	run, err := runGatewayMix(profile, tenants, submissions, true)
+	if err != nil {
+		return res, err
+	}
+	ctrl, err := runGatewayMix(profile, tenants, submissions, false)
+	if err != nil {
+		return res, err
+	}
+
+	premium := tenants / 10
+	if premium < 1 {
+		premium = 1
+	}
+	hammer := tenants / 20
+	if hammer < 1 {
+		hammer = 1
+	}
+	byClass := map[string]*GatewayClass{}
+	for _, name := range []string{"premium", "hammer", "standard"} {
+		cls := &GatewayClass{Name: name}
+		byClass[name] = cls
+	}
+	byClass["premium"].Tenants = premium
+	byClass["hammer"].Tenants = hammer
+	byClass["standard"].Tenants = tenants - premium - hammer
+	for i, ts := range run.report.Tenants {
+		cls := byClass[gwClassOf(i, premium, hammer)]
+		cls.Submitted += ts.Submitted
+		cls.Admitted += ts.Admitted
+		cls.RejectedRate += ts.RejectedRate
+		cls.RejectedQueue += ts.RejectedQueue
+		cls.Completed += ts.Completed
+		cls.USD += ts.TotalUSD()
+	}
+	var completed int64
+	for _, name := range []string{"premium", "hammer", "standard"} {
+		cls := byClass[name]
+		cls.P50 = gwPercentile(run.sojourns[name], 0.50)
+		cls.P99 = gwPercentile(run.sojourns[name], 0.99)
+		completed += cls.Completed
+		res.Classes = append(res.Classes, *cls)
+	}
+
+	res.Makespan = run.makespan
+	if run.makespan > 0 {
+		res.Throughput = float64(completed) / run.makespan.Seconds()
+	}
+	res.Rounds = run.report.Rounds
+	res.Starved = run.report.Starved
+	res.AttributedUSD = run.report.AttributedUSD
+	res.SessionUSD = run.report.Session.TotalUSD
+	res.BaselineStandardP99 = gwPercentile(ctrl.sojourns["standard"], 0.99)
+	res.ServedBytes = run.served
+	res.ForbiddenBlocked = run.blocked
+	return res, nil
+}
+
+// String renders the experiment.
+func (r GatewayResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-tenant gateway: %d tenants, %d open-loop submissions (λ=%.0f/s, service exp(%s))\n",
+		r.Tenants, r.Submissions, gwArrivalPerSec, gwServiceMean)
+	fmt.Fprintf(&b, "%10s %8s %10s %10s %8s %8s %12s %12s %12s\n",
+		"class", "tenants", "submitted", "admitted", "rate-rej", "done", "p50", "p99", "$")
+	for _, c := range r.Classes {
+		fmt.Fprintf(&b, "%10s %8d %10d %10d %8d %8d %12s %12s %12.4f\n",
+			c.Name, c.Tenants, c.Submitted, c.Admitted, c.RejectedRate, c.Completed,
+			c.P50.Round(time.Millisecond), c.P99.Round(time.Millisecond), c.USD)
+	}
+	fmt.Fprintf(&b, "throughput %.1f jobs/s over %.1fs virtual; %d DRR rounds, %d starved\n",
+		r.Throughput, r.Makespan.Seconds(), r.Rounds, r.Starved)
+	fmt.Fprintf(&b, "attribution: tenant ledgers $%.4f vs session bill $%.4f\n", r.AttributedUSD, r.SessionUSD)
+	fmt.Fprintf(&b, "isolation: standard p99 %s with hammer class vs %s without (rejection is free for bystanders)\n",
+		r.StandardP99().Round(time.Millisecond), r.BaselineStandardP99.Round(time.Millisecond))
+	fmt.Fprintf(&b, "serving: %d result bytes delivered by ranged reads; cross-tenant read blocked: %v\n",
+		r.ServedBytes, r.ForbiddenBlocked)
+	return b.String()
+}
+
+// StandardP99 is the standard class's p99 sojourn in the full-mix run.
+func (r GatewayResult) StandardP99() time.Duration {
+	for _, c := range r.Classes {
+		if c.Name == "standard" {
+			return c.P99
+		}
+	}
+	return 0
+}

@@ -1,0 +1,100 @@
+package gateway
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"errors"
+)
+
+// ErrUnauthenticated is returned when no authenticator accepts the
+// presented credential.
+var ErrUnauthenticated = errors.New("gateway: unauthenticated")
+
+// Credential is what a caller presents at the gateway's front door.
+// Static-token auth reads Token; HMAC auth reads TenantID + MAC. A
+// credential may carry both — the configured authenticator decides
+// what it honors.
+type Credential struct {
+	// Token is a bearer token (static-token authentication).
+	Token string
+	// TenantID is the claimed identity for keyed-MAC authentication.
+	TenantID string
+	// MAC is the hex HMAC-SHA256 of TenantID under the shared secret.
+	MAC string
+}
+
+// Authenticator maps a credential to a tenant identity. It is the
+// pluggable seam of the admission stack: deployments swap in whatever
+// scheme their tenants use without the gateway core changing — the
+// middleware-component pattern of plugin-loadable auth layers.
+type Authenticator interface {
+	// Authenticate returns the tenant ID the credential proves, or an
+	// error wrapping ErrUnauthenticated.
+	Authenticate(cred Credential) (string, error)
+}
+
+// StaticTokens authenticates by opaque bearer token: a token-to-tenant
+// table, the shape of an API-key tier. Comparison is constant-time per
+// candidate so a lookup leaks nothing about how close a guess came.
+type StaticTokens map[string]string
+
+// Authenticate implements Authenticator.
+func (s StaticTokens) Authenticate(cred Credential) (string, error) {
+	if cred.Token == "" {
+		return "", ErrUnauthenticated
+	}
+	for tok, tenant := range s {
+		if subtle.ConstantTimeCompare([]byte(tok), []byte(cred.Token)) == 1 {
+			return tenant, nil
+		}
+	}
+	return "", ErrUnauthenticated
+}
+
+// HMACAuth authenticates self-describing credentials: the caller
+// claims a tenant ID and proves it with an HMAC-SHA256 tag under a
+// secret shared with the gateway — token issuance without a lookup
+// table, the stateless half of the token-middleware pattern.
+type HMACAuth struct {
+	Secret []byte
+}
+
+// Tag mints the hex tag for a tenant ID — the issuance side, used by
+// clients (and tests) to build credentials.
+func (h HMACAuth) Tag(tenantID string) string {
+	mac := hmac.New(sha256.New, h.Secret)
+	mac.Write([]byte(tenantID))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// Authenticate implements Authenticator.
+func (h HMACAuth) Authenticate(cred Credential) (string, error) {
+	if cred.TenantID == "" || cred.MAC == "" {
+		return "", ErrUnauthenticated
+	}
+	if !hmac.Equal([]byte(cred.MAC), []byte(h.Tag(cred.TenantID))) {
+		return "", ErrUnauthenticated
+	}
+	return cred.TenantID, nil
+}
+
+// Chain tries authenticators in order, accepting the first success —
+// how a gateway fronts multiple credential schemes at once. Errors
+// other than ErrUnauthenticated stop the chain.
+type Chain []Authenticator
+
+// Authenticate implements Authenticator.
+func (c Chain) Authenticate(cred Credential) (string, error) {
+	for _, a := range c {
+		id, err := a.Authenticate(cred)
+		if err == nil {
+			return id, nil
+		}
+		if !errors.Is(err, ErrUnauthenticated) {
+			return "", err
+		}
+	}
+	return "", ErrUnauthenticated
+}

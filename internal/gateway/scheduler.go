@@ -1,0 +1,94 @@
+package gateway
+
+// Weighted deficit round-robin fair-share dispatch.
+//
+// The scheduler divides the gateway's shared concurrency among tenants
+// in proportion to their weights. Each round credits every tenant
+// `weight` deficit units; a launch spends one unit. Rounds persist
+// across dispatch calls — the crediting cursor picks up where the last
+// free slot left off rather than restarting per call — because under a
+// tight global cap only a slot or two frees at a time, and restarting
+// the round on each call would collapse weighted shares back to 1:1
+// alternation.
+//
+// Starvation accounting is structural: a tenant that entered a round
+// with work pending and exited it with no launches (while other
+// tenants launched) increments Starved. DRR's round discipline makes
+// that impossible — every backlogged tenant is credited and visited
+// each round — so a nonzero counter means the scheduler is broken, and
+// the experiment asserts it stays zero.
+
+// dispatch fills free gateway slots from the pending queues under the
+// DRR discipline. Called inline from Submit and from job completion;
+// there is no standing dispatcher process (one would hold the
+// simulation's event heap hostage between arrivals).
+func (g *Gateway) dispatch() {
+	for g.active < g.opts.MaxConcurrent && g.pendingTotal > 0 {
+		t := g.nextCredited()
+		if t == nil {
+			// Everyone with work is out of credit (or at their own
+			// concurrency cap): start a new round. If replenishing
+			// credits still unlocks nobody, the backlog is blocked on
+			// per-tenant caps — in-flight completions will re-dispatch.
+			if !g.startRound() {
+				return
+			}
+			continue
+		}
+		t.deficit--
+		g.launch(t)
+	}
+}
+
+// nextCredited scans from the round cursor for a tenant that can spend
+// credit now: deficit available, work pending, below its own
+// concurrency cap. Advancing rrPos only past tenants that cannot
+// launch preserves each tenant's remaining credit for later in the
+// same round.
+func (g *Gateway) nextCredited() *tenant {
+	n := len(g.order)
+	for i := 0; i < n; i++ {
+		t := g.order[(g.rrPos+i)%n]
+		if t.deficit >= 1 && len(t.pending) > 0 && t.inflight < t.cfg.MaxConcurrent {
+			g.rrPos = (g.rrPos + i) % n
+			return t
+		}
+	}
+	return nil
+}
+
+// startRound closes out the finished round's starvation accounting and
+// credits the next one. It reports whether any tenant can now launch;
+// false means dispatch must wait for completions.
+func (g *Gateway) startRound() bool {
+	launched := false
+	for _, t := range g.order {
+		launched = launched || t.launchedInRound > 0
+	}
+	dispatchable := false
+	for _, t := range g.order {
+		if g.rounds > 0 && launched && t.pendingAtRoundStart &&
+			t.launchedInRound == 0 && t.inflight < t.cfg.MaxConcurrent {
+			// The tenant had queued work and open capacity for a full
+			// round in which others launched, yet got nothing: starved.
+			g.starved++
+			t.stats.StarvedRounds++
+		}
+		t.launchedInRound = 0
+		t.pendingAtRoundStart = len(t.pending) > 0
+		// Credit the new round. Unused credit carries over (that is the
+		// "deficit" in DRR — a tenant skipped while capped keeps its
+		// claim), but capped at two rounds' worth so an idle tenant
+		// cannot bank an unbounded burst.
+		t.deficit += float64(t.cfg.Weight)
+		if max := 2 * float64(t.cfg.Weight); t.deficit > max {
+			t.deficit = max
+		}
+		if t.deficit >= 1 && len(t.pending) > 0 && t.inflight < t.cfg.MaxConcurrent {
+			dispatchable = true
+		}
+	}
+	g.rounds++
+	g.rrPos = 0
+	return dispatchable
+}

@@ -37,6 +37,11 @@ import (
 	"github.com/faaspipe/faaspipe/internal/vm"
 )
 
+// ErrSessionClosed is the typed lifecycle error: Submit (in either
+// form) after Close, and a second Close, both return errors wrapping
+// it, so callers can errors.Is instead of string-matching.
+var ErrSessionClosed = errors.New("session: closed")
+
 // Options configure what a session keeps running between submissions.
 type Options struct {
 	// Listeners observe every submission's run (progress trackers).
@@ -190,15 +195,53 @@ func (s *Session) attributeStanding(through time.Duration) float64 {
 // accrued since the previous attribution point, spin-up and idle time
 // included.
 func (s *Session) Submit(job Job) (*core.RunReport, error) {
+	w, name, err := s.buildJob(job)
+	if err != nil {
+		return nil, err
+	}
+	s.seq++
+	var (
+		rep    *core.RunReport
+		runErr error
+	)
+	s.rig.Sim.Spawn(fmt.Sprintf("submit-%03d/%s", s.seq, name), func(p *des.Proc) {
+		rep, runErr = s.runJob(p, job, w)
+	})
+	if err := s.rig.Sim.Run(); err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	return rep, runErr
+}
+
+// SubmitIn is Submit for callers already inside the simulation: it
+// builds and runs the job on p's process without driving the clock,
+// so any number of SubmitIn calls from concurrently running processes
+// share the session's rig at the same virtual time — the submission
+// hook a gateway or scheduler layers admission on top of. Standing
+// cost is attributed at each run's completion instant: completions
+// partition the standing timeline, so concurrent runs' StandingUSD
+// shares always sum to the session total.
+func (s *Session) SubmitIn(p *des.Proc, job Job) (*core.RunReport, error) {
+	w, _, err := s.buildJob(job)
+	if err != nil {
+		return nil, err
+	}
+	s.seq++
+	return s.runJob(p, job, w)
+}
+
+// buildJob validates and binds a job to the rig, shared by both
+// submission paths.
+func (s *Session) buildJob(job Job) (*core.Workflow, string, error) {
 	if s.closed {
-		return nil, errors.New("session: Submit after Close")
+		return nil, "", fmt.Errorf("session: Submit after Close: %w", ErrSessionClosed)
 	}
 	if job.Build == nil {
-		return nil, errors.New("session: job has no Build")
+		return nil, "", errors.New("session: job has no Build")
 	}
 	w, err := job.Build(s.rig)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if job.DescribeTo != nil {
 		fmt.Fprint(job.DescribeTo, w.Describe())
@@ -207,23 +250,19 @@ func (s *Session) Submit(job Job) (*core.RunReport, error) {
 	if name == "" {
 		name = w.Name()
 	}
-	s.seq++
-	var (
-		rep    *core.RunReport
-		runErr error
-	)
-	s.rig.Sim.Spawn(fmt.Sprintf("submit-%03d/%s", s.seq, name), func(p *des.Proc) {
-		if job.Prepare != nil {
-			if err := job.Prepare(p, s.rig); err != nil {
-				runErr = err
-				return
-			}
+	return w, name, nil
+}
+
+// runJob executes a built job in process context and records its
+// report. Completion order equals virtual-time order, so the standing
+// attribution windows stay monotone even across concurrent runs.
+func (s *Session) runJob(p *des.Proc, job Job, w *core.Workflow) (*core.RunReport, error) {
+	if job.Prepare != nil {
+		if err := job.Prepare(p, s.rig); err != nil {
+			return nil, err
 		}
-		rep, runErr = s.rig.Exec.Run(p, w)
-	})
-	if err := s.rig.Sim.Run(); err != nil {
-		return nil, fmt.Errorf("session: %w", err)
 	}
+	rep, runErr := s.rig.Exec.Run(p, w)
 	if rep != nil {
 		rep.StandingUSD = s.attributeStanding(rep.End)
 		s.runs = append(s.runs, rep)
@@ -260,7 +299,7 @@ type Report struct {
 // already been rendered).
 func (s *Session) Close() (Report, error) {
 	if s.closed {
-		return Report{}, errors.New("session: already closed")
+		return Report{}, fmt.Errorf("session: already closed: %w", ErrSessionClosed)
 	}
 	s.closed = true
 	if s.cache != nil {

@@ -1,6 +1,8 @@
 package session_test
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -132,7 +134,7 @@ func TestStandingVMSharedAcrossSubmissions(t *testing.T) {
 }
 
 // TestSessionLifecycleErrors: Submit after Close and double Close
-// fail; a job without Build fails.
+// return the typed ErrSessionClosed; a job without Build fails.
 func TestSessionLifecycleErrors(t *testing.T) {
 	sess, err := session.Open(calib.Local(), session.Options{})
 	if err != nil {
@@ -140,16 +142,113 @@ func TestSessionLifecycleErrors(t *testing.T) {
 	}
 	if _, err := sess.Submit(session.Job{}); err == nil {
 		t.Error("job without Build accepted")
+	} else if errors.Is(err, session.ErrSessionClosed) {
+		t.Errorf("no-Build error claims the session is closed: %v", err)
 	}
 	if _, err := sess.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	if _, err := sess.Close(); err == nil {
-		t.Error("double Close accepted")
+	if _, err := sess.Close(); !errors.Is(err, session.ErrSessionClosed) {
+		t.Errorf("double Close error = %v, want ErrSessionClosed", err)
 	}
 	d, _ := pipeline.Load([]byte(cacheDoc))
-	if _, err := sess.Submit(d.Job(pipeline.JobConfig{DataBytes: 1 << 20})); err == nil {
-		t.Error("Submit after Close accepted")
+	if _, err := sess.Submit(d.Job(pipeline.JobConfig{DataBytes: 1 << 20})); !errors.Is(err, session.ErrSessionClosed) {
+		t.Errorf("Submit after Close error = %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestSubmitInAfterCloseFails: the in-simulation submission hook obeys
+// the same lifecycle as Submit.
+func TestSubmitInAfterCloseFails(t *testing.T) {
+	sess, err := session.Open(calib.Local(), session.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	rig := sess.Rig()
+	var subErr error
+	rig.Sim.Spawn("late", func(p *des.Proc) {
+		_, subErr = sess.SubmitIn(p, session.Job{Build: func(*calib.Rig) (*core.Workflow, error) {
+			return core.NewWorkflow("late"), nil
+		}})
+	})
+	if err := rig.Sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(subErr, session.ErrSessionClosed) {
+		t.Errorf("SubmitIn after Close error = %v, want ErrSessionClosed", subErr)
+	}
+}
+
+// TestSubmitInConcurrentRuns: two jobs submitted from concurrently
+// running simulation processes overlap in virtual time on one rig, and
+// their standing-cost shares partition the session's standing spend
+// (sum equals the closing report's StandingUSD).
+func TestSubmitInConcurrentRuns(t *testing.T) {
+	sess, err := session.Open(calib.Local(), session.Options{WarmCacheNodes: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rig := sess.Rig()
+	recs := bed.Generate(bed.GenConfig{Records: 600, Seed: 11})
+	var reps [2]*core.RunReport
+	rig.Sim.Spawn("driver", func(p *des.Proc) {
+		c := objectstore.NewClient(rig.Store)
+		for _, b := range []string{"data", "work"} {
+			if err := c.CreateBucket(p, b); err != nil {
+				t.Errorf("bucket: %v", err)
+				return
+			}
+		}
+		if err := c.Put(p, "data", "in", payload.RealNoCopy(bed.Marshal(recs))); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		wg := des.NewWaitGroup(rig.Sim)
+		for i := 0; i < 2; i++ {
+			i := i
+			wg.Add(1)
+			p.Spawn(fmt.Sprintf("job%d", i), func(jp *des.Proc) {
+				defer wg.Done()
+				w := core.NewWorkflow(fmt.Sprintf("job%d", i))
+				if err := w.Add(&core.SortStage{
+					Strategy: rig.CacheStrategy(true),
+					Params:   rig.SortParams("data", "in", "work", fmt.Sprintf("out%d/", i), 2),
+				}); err != nil {
+					t.Errorf("Add: %v", err)
+					return
+				}
+				rep, err := sess.SubmitIn(jp, session.WorkflowJob(w, nil))
+				if err != nil {
+					t.Errorf("SubmitIn %d: %v", i, err)
+					return
+				}
+				reps[i] = rep
+			})
+		}
+		wg.Wait(p)
+	})
+	if err := rig.Sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if reps[0] == nil || reps[1] == nil {
+		t.Fatal("missing run reports")
+	}
+	if reps[0].Start != reps[1].Start {
+		t.Errorf("runs did not start concurrently: %v vs %v", reps[0].Start, reps[1].Start)
+	}
+	report, err := sess.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if report.Submissions != 2 {
+		t.Fatalf("submissions = %d, want 2", report.Submissions)
+	}
+	sum := reps[0].StandingUSD + reps[1].StandingUSD
+	if d := sum - report.StandingUSD; d < -1e-9 || d > 1e-9 {
+		t.Errorf("standing shares %.9f do not partition the session's %.9f", sum, report.StandingUSD)
 	}
 }
 
