@@ -235,6 +235,39 @@ func BenchmarkFaultMitigation(b *testing.B) {
 	}
 }
 
+// BenchmarkChaosRecovery measures graceful degradation under the
+// targeted faults of the chaos matrix: the makespan and bill of the
+// spot-preempted VM leg (restarted on on-demand capacity) and the
+// cache-node-loss run (slabs degraded to object storage), each as a
+// slowdown over the same strategy's fault-free baseline.
+func BenchmarkChaosRecovery(b *testing.B) {
+	profile := calib.Paper()
+	var res experiments.ChaosResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.ChaosMatrix(profile, 1000e6, experiments.PaperWorkers)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	cell := func(kind experiments.StrategyKind, sched experiments.FaultSchedule) experiments.ChaosCell {
+		for _, c := range res.Rows {
+			if c.Kind == kind && c.Schedule == sched {
+				return c
+			}
+		}
+		b.Fatalf("no cell %v/%v", kind, sched)
+		return experiments.ChaosCell{}
+	}
+	vmCell := cell(experiments.VMSupported, experiments.SpotPreempt)
+	cacheCell := cell(experiments.CacheSupported, experiments.CacheNodeLoss)
+	b.ReportMetric(vmCell.Latency.Seconds(), "vm-preempt-s")
+	b.ReportMetric(vmCell.Slowdown, "vm-preempt-slowdown")
+	b.ReportMetric(vmCell.SessionUSD, "vm-preempt-usd")
+	b.ReportMetric(cacheCell.Slowdown, "cache-kill-slowdown")
+	b.ReportMetric(float64(cacheCell.FallbackSlabs), "fallback-slabs")
+}
+
 // BenchmarkMemorySweep is the function-memory ablation behind the
 // paper's 2 GB allocation: latency and cost per memory grant.
 func BenchmarkMemorySweep(b *testing.B) {

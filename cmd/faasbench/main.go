@@ -17,6 +17,7 @@
 //	faasbench -experiment autoplan [-data 3.5]
 //	faasbench -experiment multijob [-data 3.5] [-jobs 3]
 //	faasbench -experiment gateway [-tenants 100] [-submissions 10000]
+//	faasbench -experiment chaos [-data 3.5] [-workers 8]
 //	faasbench -experiment all
 //	faasbench -auto [-data 3.5]
 //
@@ -212,6 +213,19 @@ func run(experiment string, dataGB float64, workers, jobs, tenants, submissions 
 		fmt.Println(res)
 		return nil
 	}
+	chaosFn := func() error {
+		res, err := experiments.ChaosMatrix(profile, dataBytes, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		flip, err := experiments.SpotDecisionFlip(profile, dataBytes, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(flip)
+		return nil
+	}
 
 	switch experiment {
 	case "table1":
@@ -242,13 +256,15 @@ func run(experiment string, dataGB float64, workers, jobs, tenants, submissions 
 		return multijob()
 	case "gateway":
 		return gatewayFn()
+	case "chaos":
+		return chaosFn()
 	case "all":
 		// The trailing autoplan step is the decision table only: table1
 		// already ran the measured rows (with -auto it runs the full
 		// autoplan experiment, decision table included), so re-running
 		// Table1Auto here would re-simulate the most expensive part of
 		// the sweep.
-		steps := []func() error{table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, multijob, gatewayFn}
+		steps := []func() error{table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, multijob, gatewayFn, chaosFn}
 		if !auto {
 			steps = append(steps, decide)
 		}

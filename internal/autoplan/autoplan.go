@@ -164,6 +164,22 @@ type Env struct {
 	// considers only that catalog entry, with no boot/setup latency and
 	// no instance-hours in the marginal cost.
 	VMStandingType string
+	// NoSpot disables spot (interruptible) VM candidates; by default
+	// every catalog entry with a spot price is also enumerated as a
+	// spot candidate priced under its InterruptRate.
+	NoSpot bool
+
+	// FaasStragglerRate / FaasStragglerSlowdown model the function
+	// platform's straggler exposure (the operators' Config values):
+	// the probability an invocation runs StragglerSlowdown times
+	// slower. The planner weighs this exposure against the
+	// duplicate-invocation cost to decide whether to arm speculation.
+	FaasStragglerRate     float64
+	FaasStragglerSlowdown float64
+	// FaasFailureRate is the platform's transient invocation failure
+	// probability; it feeds the same speculation advice (failed
+	// invocations retry, widening the wave tail).
+	FaasFailureRate float64
 
 	// History, when set, supplies measured actual/predicted calibration
 	// factors per family; every prediction is scaled by them before the
@@ -183,6 +199,10 @@ type Candidate struct {
 	CacheNodes int
 	// Instance is the VM catalog entry ("" otherwise).
 	Instance string
+	// Spot marks a VM candidate priced on interruptible capacity: Time
+	// and CostUSD are expectations under the type's InterruptRate
+	// (preemption probability, rework, re-boot, on-demand fallback).
+	Spot bool
 	// Time is the predicted virtual completion time (calibrated by
 	// Env.History when one is set).
 	Time time.Duration
@@ -207,10 +227,22 @@ func (c Candidate) Config() string {
 	case CacheBacked:
 		return fmt.Sprintf("w=%d nodes=%d", c.Workers, c.CacheNodes)
 	case VMStaged:
+		if c.Spot {
+			return fmt.Sprintf("%s(spot) parts=%d", c.Instance, c.Workers)
+		}
 		return fmt.Sprintf("%s parts=%d", c.Instance, c.Workers)
 	default:
 		return fmt.Sprintf("w=%d", c.Workers)
 	}
+}
+
+// SpeculationDecision is the planner's straggler-mitigation verdict
+// for the chosen plan.
+type SpeculationDecision struct {
+	// Arm says the chosen plan's waves should run speculatively.
+	Arm bool
+	// Reason explains the verdict either way.
+	Reason string
 }
 
 // Decision is the planner's output: the chosen plan and the full
@@ -220,6 +252,9 @@ type Decision struct {
 	Workload   Workload
 	Chosen     Candidate
 	Candidates []Candidate
+	// Speculation says whether the chosen plan's function waves should
+	// arm straggler speculation (always unarmed for VM plans).
+	Speculation SpeculationDecision
 }
 
 // evalConcurrency bounds the candidate-evaluation fan-out.
@@ -376,8 +411,71 @@ func Plan(w Workload, env Env, obj Objective) (Decision, error) {
 			len(cands), strings.Join(reasons, "; "))
 	}
 	dec.Chosen = chosen
+	dec.Speculation = adviseSpeculation(chosen, w, env, obj)
 	sortCandidates(dec.Candidates)
 	return dec, nil
+}
+
+// adviseSpeculation weighs the chosen plan's modeled straggler/failure
+// exposure against the duplicate-invocation cost of mitigating it.
+// Speculation duplicates the laggard tail of each wave (the slowest
+// ~1-quantile fraction, 25% at the faas default), so arming pays when
+// the expected tail added by stragglers outweighs that duplicate
+// spend in the objective's currency: wall-clock exposure for MinTime
+// (and within-bound), billed straggler-seconds for MinCost.
+func adviseSpeculation(c Candidate, w Workload, env Env, obj Objective) SpeculationDecision {
+	switch c.Strategy {
+	case ObjectStorage, Hierarchical, CacheBacked:
+	default:
+		return SpeculationDecision{Reason: "vm plan: no function waves to speculate"}
+	}
+	s := env.FaasStragglerRate
+	// Transient failures retry serially inside the wave, widening the
+	// tail the same way a straggler does; fold them into the exposure.
+	exposure := s + env.FaasFailureRate
+	if exposure <= 0 {
+		return SpeculationDecision{Reason: "no modeled straggler or failure exposure"}
+	}
+	slow := env.FaasStragglerSlowdown
+	if slow <= 1 {
+		slow = 3 // the faas default when StragglerRate > 0
+	}
+	n := float64(c.Workers)
+	// Two waves of n workers; a wave stalls if any of its n inputs
+	// draws a straggler (or a retried failure).
+	pWave := 1 - math.Pow(1-exposure, n)
+	waveT := (c.Time - env.FunctionStartup).Seconds() / 2
+	if waveT <= 0 {
+		return SpeculationDecision{Reason: "degenerate plan time"}
+	}
+	// Without mitigation the stalled wave finishes at ~slow x its
+	// service time; with it, at ~service time plus detection.
+	tailSeconds := 2 * pWave * (slow - 1) * waveT
+	const backupFrac = 0.25 // 1 - default speculation quantile
+	backups := int(math.Ceil(backupFrac*n)) * 2
+	dupUSD := functionUSD(env, backups, waveT, backups)
+	if obj.Goal == MinCost {
+		// Stragglers bill their own slowdown; speculation trades that
+		// billed tail for the duplicates' spend.
+		memGB := float64(env.FunctionMemoryMB) / 1024
+		savedUSD := 2 * exposure * n * (slow - 1) * waveT * memGB * env.Prices.FunctionGBSecond
+		if savedUSD > dupUSD {
+			return SpeculationDecision{Arm: true, Reason: fmt.Sprintf(
+				"straggler billing exposure $%.4f > duplicate cost $%.4f", savedUSD, dupUSD)}
+		}
+		return SpeculationDecision{Reason: fmt.Sprintf(
+			"straggler billing exposure $%.4f <= duplicate cost $%.4f", savedUSD, dupUSD)}
+	}
+	// Time objectives: arm when the expected tail is a meaningful
+	// fraction of the makespan (5%), so near-zero exposure does not
+	// pay the duplicate-invocation overhead for nothing.
+	if tailSeconds > 0.05*c.Time.Seconds() {
+		return SpeculationDecision{Arm: true, Reason: fmt.Sprintf(
+			"expected straggler tail %.2fs (p=%.2f/wave, %gx slowdown) > 5%% of %.2fs makespan",
+			tailSeconds, pWave, slow, c.Time.Seconds())}
+	}
+	return SpeculationDecision{Reason: fmt.Sprintf(
+		"expected straggler tail %.2fs <= 5%% of %.2fs makespan", tailSeconds, c.Time.Seconds())}
 }
 
 // candidateSpec is one configuration awaiting evaluation. A non-empty
@@ -387,6 +485,7 @@ type candidateSpec struct {
 	strategy Strategy
 	workers  int
 	instance vm.InstanceType
+	spot     bool
 	reason   string
 }
 
@@ -434,6 +533,12 @@ func enumerate(w Workload, env Env) []candidateSpec {
 			continue
 		}
 		specs = append(specs, candidateSpec{strategy: VMStaged, workers: w.OutputParts, instance: it})
+		// Spot variant: same machine, interruptible price, expected
+		// rework under its InterruptRate. A standing instance is
+		// already running (and already paid for), so no spot variant.
+		if !env.NoSpot && it.SpotHourlyUSD > 0 && env.VMStandingType == "" {
+			specs = append(specs, candidateSpec{strategy: VMStaged, workers: w.OutputParts, instance: it, spot: true})
+		}
 	}
 	return specs
 }
@@ -451,7 +556,7 @@ func (s candidateSpec) evaluate(w Workload, env Env) Candidate {
 	case CacheBacked:
 		return predictCache(s.workers, w, env)
 	case VMStaged:
-		return predictVM(s.instance, w, env)
+		return predictVM(s.instance, s.spot, w, env)
 	default:
 		return Candidate{Strategy: s.strategy, Feasible: false, Reason: "unknown strategy"}
 	}
@@ -531,5 +636,6 @@ func sortCandidates(cands []Candidate) {
 // (ignoring predictions).
 func (c Candidate) Same(o Candidate) bool {
 	return c.Strategy == o.Strategy && c.Workers == o.Workers &&
-		c.Groups == o.Groups && c.CacheNodes == o.CacheNodes && c.Instance == o.Instance
+		c.Groups == o.Groups && c.CacheNodes == o.CacheNodes &&
+		c.Instance == o.Instance && c.Spot == o.Spot
 }

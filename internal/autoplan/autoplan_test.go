@@ -231,7 +231,11 @@ func TestRenderMarksChosen(t *testing.T) {
 	if !strings.Contains(s, "<- chosen") {
 		t.Errorf("no chosen marker in:\n%s", s)
 	}
-	if got := strings.Count(s, "\n") - 2; got != len(dec.Candidates) {
+	extra := 2 // title + header
+	if dec.Speculation.Reason != "" {
+		extra++ // speculation verdict line
+	}
+	if got := strings.Count(s, "\n") - extra; got != len(dec.Candidates) {
 		t.Errorf("table has %d rows, want %d candidates", got, len(dec.Candidates))
 	}
 	if !strings.Contains(dec.Summary(), "auto-planned") {

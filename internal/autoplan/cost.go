@@ -201,11 +201,19 @@ func predictCache(w int, wl Workload, env Env) Candidate {
 
 // predictVM models the staged sort: boot + agent setup, parallel
 // ranged GETs through the instance NIC, one local sort, parallel PUTs
-// of the output parts.
-func predictVM(it vm.InstanceType, wl Workload, env Env) Candidate {
-	c := Candidate{Strategy: VMStaged, Workers: wl.OutputParts, Instance: it.Name}
+// of the output parts. A spot candidate is priced as an expectation
+// under the type's InterruptRate: with probability q the interruptible
+// instance is reclaimed mid-run (on average halfway through the work),
+// losing the staged bytes, and the job re-boots and redoes the whole
+// leg on an on-demand fallback — exactly what the VM exchange executes.
+func predictVM(it vm.InstanceType, spot bool, wl Workload, env Env) Candidate {
+	c := Candidate{Strategy: VMStaged, Workers: wl.OutputParts, Instance: it.Name, Spot: spot}
 	if int64(it.MemoryGB)<<30 < wl.DataBytes {
 		c.Reason = fmt.Sprintf("%d GB memory < dataset", it.MemoryGB)
+		return c
+	}
+	if spot && it.SpotHourlyUSD <= 0 {
+		c.Reason = "no spot market for this type"
 		return c
 	}
 	conns := env.VMConns
@@ -224,15 +232,38 @@ func predictVM(it vm.InstanceType, wl Workload, env Env) Candidate {
 	stageIn := d/rate + lat
 	sortT := d / env.VMSortBps
 	stageOut := d/rate + lat
+	work := stageIn + sortT + stageOut
 	standing := env.VMStandingType != "" && it.Name == env.VMStandingType
 	bootSetup := it.BootTime.Seconds() + env.VMSetup.Seconds()
 	if standing {
 		// A session-owned instance is already booted and deployed.
 		bootSetup = 0
 	}
-	total := bootSetup + stageIn + sortT + stageOut
-	c.Time = time.Duration(total * float64(time.Second))
+	total := bootSetup + work
 
+	if spot {
+		// Preemption probability over the run's exposure window,
+		// Poisson at InterruptRate per hour.
+		q := 1 - math.Exp(-it.InterruptRate*total/3600)
+		// E[time]: the fault-free run, plus — with probability q — half
+		// the work wasted before the reclaim, a fresh boot+setup, and
+		// the full leg redone (staged bytes die with the instance).
+		expTime := total + q*(0.5*work+it.BootTime.Seconds()+env.VMSetup.Seconds()+work)
+		c.Time = time.Duration(expTime * float64(time.Second))
+		// E[cost]: the spot attempt bills at the spot rate either way
+		// (full run, or boot+half the work before the reclaim); the
+		// on-demand fallback bills a full run at the on-demand rate.
+		spotSec := (1-q)*(bootSetup+work) + q*(bootSetup+0.5*work)
+		odSec := q * (bootSetup + work)
+		instUSD := (it.SpotHourlyUSD*spotSec+it.HourlyUSD*odSec)/3600 +
+			float64(it.MemoryGB)*env.Prices.StorageGBMonth*(expTime/3600)/(30*24)
+		c.CostUSD = instUSD +
+			storageUSD(env, int64(wl.OutputParts), int64(conns)+1, 2*wl.DataBytes, c.Time)
+		c.Feasible = true
+		return c
+	}
+
+	c.Time = time.Duration(total * float64(time.Second))
 	hours := total / 3600
 	instUSD := it.HourlyUSD*hours +
 		float64(it.MemoryGB)*env.Prices.StorageGBMonth*hours/(30*24)

@@ -30,6 +30,13 @@ func (d Decision) String() string {
 		fmt.Fprintf(&b, "%-15s %-20s %12.2f %11.6f  %s\n",
 			c.Strategy, c.Config(), c.Time.Seconds(), c.CostUSD, marker)
 	}
+	if d.Speculation.Reason != "" {
+		armed := "off"
+		if d.Speculation.Arm {
+			armed = "armed"
+		}
+		fmt.Fprintf(&b, "speculation %s: %s\n", armed, d.Speculation.Reason)
+	}
 	return b.String()
 }
 

@@ -197,5 +197,9 @@ func PlanEnv(p Profile) autoplan.Env {
 		VMSetup:          p.VMSetup,
 		VMSortBps:        p.VMSortBps,
 		VMConns:          p.VMConns,
+
+		FaasFailureRate:       p.Faas.FailureRate,
+		FaasStragglerRate:     p.Faas.StragglerRate,
+		FaasStragglerSlowdown: p.Faas.StragglerSlowdown,
 	}
 }

@@ -1,0 +1,212 @@
+// Package chaos injects deterministic, clock-driven faults into a
+// simulation: spot-VM preemptions, cache-node failures, and object
+// storage brownout windows. A Plan is a schedule of timed events armed
+// against the live resource layers; because the simulation clock is
+// deterministic, the same Plan over the same workload reproduces the
+// same failure exactly — the property a chaos suite needs to assert
+// recovery behavior rather than merely observe it.
+//
+// The package is pure middleware in the ALTK sense: detection and
+// degradation policy live in the data plane (the exchanges), pricing
+// of failure risk lives in the planner (autoplan), and this package
+// only owns *when* faults happen and the record of what fired.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/memcache"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+	"github.com/faaspipe/faaspipe/internal/vm"
+)
+
+// Kind enumerates the fault classes.
+type Kind int
+
+const (
+	// PreemptVM reclaims a running VM instance (spot instances first;
+	// the provider prefers reclaiming interruptible capacity).
+	PreemptVM Kind = iota
+	// KillCacheNode fails one node of the most recent running cache
+	// cluster, losing its shard's data.
+	KillCacheNode
+	// StoreBrownout raises the object store's failure rate to
+	// Event.Rate for Event.Duration, then restores it.
+	StoreBrownout
+)
+
+// String names the fault class.
+func (k Kind) String() string {
+	switch k {
+	case PreemptVM:
+		return "preempt-vm"
+	case KillCacheNode:
+		return "kill-cache-node"
+	case StoreBrownout:
+		return "store-brownout"
+	default:
+		return fmt.Sprintf("chaos.Kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the simulation time the fault fires.
+	At time.Duration
+	// Kind selects the fault class.
+	Kind Kind
+	// Node selects the cache node index for KillCacheNode (clamped to
+	// the cluster size).
+	Node int
+	// Duration bounds a StoreBrownout window.
+	Duration time.Duration
+	// Rate is the StoreBrownout failure probability per request.
+	Rate float64
+}
+
+// Plan is a deterministic fault schedule.
+type Plan struct {
+	Events []Event
+}
+
+// Targets names the live resource layers a Plan arms against. Nil
+// fields make the corresponding fault classes no-ops.
+type Targets struct {
+	VMs   *vm.Provisioner
+	Cache *memcache.Provisioner
+	Store *objectstore.Service
+}
+
+// Fired records one event's outcome, for experiment reports.
+type Fired struct {
+	Event   Event
+	Outcome string
+}
+
+// Armed is a Plan scheduled onto a simulation.
+type Armed struct {
+	fired []Fired
+}
+
+// Fired returns the log of events that have fired so far, in firing
+// order, with a human-readable outcome each.
+func (a *Armed) Fired() []Fired {
+	out := make([]Fired, len(a.fired))
+	copy(out, a.fired)
+	return out
+}
+
+// String renders the fired log.
+func (a *Armed) String() string {
+	var b strings.Builder
+	for _, f := range a.fired {
+		fmt.Fprintf(&b, "t=%-8s %-16s %s\n", f.Event.At, f.Event.Kind, f.Outcome)
+	}
+	return b.String()
+}
+
+// Arm schedules every event in the plan onto sim against the given
+// targets and returns the armed record. Events that fire after the
+// simulation drains simply never run; events aimed at resources that
+// do not exist at fire time record a no-op outcome. Arm may be called
+// before or during a run (event times in the past fire immediately on
+// the next dispatch).
+func (p *Plan) Arm(sim *des.Sim, t Targets) *Armed {
+	a := &Armed{}
+	for _, ev := range p.Events {
+		ev := ev
+		sim.Schedule(ev.At, func() {
+			a.fired = append(a.fired, Fired{Event: ev, Outcome: fire(sim, ev, t)})
+		})
+	}
+	return a
+}
+
+// fire executes one event and describes what happened.
+func fire(sim *des.Sim, ev Event, t Targets) string {
+	switch ev.Kind {
+	case PreemptVM:
+		if t.VMs == nil {
+			return "no-op: no VM provisioner"
+		}
+		inst := pickVictim(t.VMs)
+		if inst == nil {
+			return "no-op: no running instance"
+		}
+		inst.Preempt()
+		class := "on-demand"
+		if inst.Spot() {
+			class = "spot"
+		}
+		return fmt.Sprintf("preempting %s %s (notice %s)", class, inst.Type().Name, vm.PreemptionNotice)
+	case KillCacheNode:
+		if t.Cache == nil {
+			return "no-op: no cache provisioner"
+		}
+		cl := runningCluster(t.Cache)
+		if cl == nil {
+			return "no-op: no running cluster"
+		}
+		idx := ev.Node
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= cl.Nodes() {
+			idx = cl.Nodes() - 1
+		}
+		if cl.NodeDown(idx) {
+			return fmt.Sprintf("no-op: node %d already down", idx)
+		}
+		cl.KillNode(idx)
+		return fmt.Sprintf("killed node %d of %d", idx, cl.Nodes())
+	case StoreBrownout:
+		if t.Store == nil {
+			return "no-op: no object store"
+		}
+		t.Store.SetBrownout(ev.Rate)
+		d := ev.Duration
+		if d <= 0 {
+			d = time.Minute
+		}
+		sim.After(d, func() { t.Store.SetBrownout(0) })
+		return fmt.Sprintf("brownout rate=%.2f for %s", ev.Rate, d)
+	default:
+		return fmt.Sprintf("no-op: unknown kind %d", int(ev.Kind))
+	}
+}
+
+// pickVictim chooses the most recently provisioned running spot
+// instance, falling back to the most recent running instance of any
+// class — a provider reclaims interruptible capacity first.
+func pickVictim(pr *vm.Provisioner) *vm.Instance {
+	insts := pr.Instances()
+	var anyRunning *vm.Instance
+	for i := len(insts) - 1; i >= 0; i-- {
+		inst := insts[i]
+		if inst.Stopped() || inst.PreemptionNoticed() {
+			continue
+		}
+		if inst.Spot() {
+			return inst
+		}
+		if anyRunning == nil {
+			anyRunning = inst
+		}
+	}
+	return anyRunning
+}
+
+// runningCluster returns the most recently provisioned cluster still
+// running, or nil.
+func runningCluster(pr *memcache.Provisioner) *memcache.Cluster {
+	cls := pr.Clusters()
+	for i := len(cls) - 1; i >= 0; i-- {
+		if !cls[i].Stopped() {
+			return cls[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/memcache"
+	"github.com/faaspipe/faaspipe/internal/objectstore"
+	"github.com/faaspipe/faaspipe/internal/vm"
+)
+
+func testTargets(t *testing.T, sim *des.Sim) Targets {
+	t.Helper()
+	store, err := objectstore.New(sim, objectstore.DefaultConfig())
+	if err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	cachePr, err := memcache.NewProvisioner(sim, memcache.DefaultConfig())
+	if err != nil {
+		t.Fatalf("cache provisioner: %v", err)
+	}
+	return Targets{VMs: vm.NewProvisioner(sim), Cache: cachePr, Store: store}
+}
+
+// TestArmFiresAllKinds: one plan with all three fault classes fires
+// in schedule order against live resources — the spot VM is noticed,
+// the cache node goes down, and the store brownout raises then
+// restores the failure rate.
+func TestArmFiresAllKinds(t *testing.T) {
+	sim := des.New(1)
+	tg := testTargets(t, sim)
+	plan := &Plan{Events: []Event{
+		{At: 2 * time.Minute, Kind: PreemptVM},
+		{At: 3 * time.Minute, Kind: KillCacheNode, Node: 1},
+		{At: 4 * time.Minute, Kind: StoreBrownout, Rate: 0.5, Duration: 10 * time.Second},
+	}}
+	armed := plan.Arm(sim, tg)
+
+	var inst *vm.Instance
+	var cl *memcache.Cluster
+	sim.Spawn("driver", func(p *des.Proc) {
+		var err error
+		inst, err = tg.VMs.ProvisionSpot(p, "bx2-2x8")
+		if err != nil {
+			t.Errorf("ProvisionSpot: %v", err)
+			return
+		}
+		cl, err = tg.Cache.ProvisionWarm(p, 3)
+		if err != nil {
+			t.Errorf("ProvisionWarm: %v", err)
+			return
+		}
+		until := func(at time.Duration) {
+			if d := at - p.Now(); d > 0 {
+				p.Sleep(d)
+			}
+		}
+		until(2*time.Minute + 5*time.Second) // past the preempt signal
+		if !inst.PreemptionNoticed() {
+			t.Error("spot instance not noticed after PreemptVM fired")
+		}
+		until(3*time.Minute + 5*time.Second) // past the cache kill
+		if !cl.NodeDown(1) {
+			t.Error("cache node 1 not down after KillCacheNode fired")
+		}
+		until(4*time.Minute + 5*time.Second) // inside the brownout window
+		if tg.Store.Brownout() != 0.5 {
+			t.Errorf("brownout rate = %g mid-window, want 0.5", tg.Store.Brownout())
+		}
+		until(4*time.Minute + 15*time.Second) // past the window
+		if tg.Store.Brownout() != 0 {
+			t.Errorf("brownout rate = %g after window, want 0 (restored)", tg.Store.Brownout())
+		}
+		cl.Stop()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	fired := armed.Fired()
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3:\n%s", len(fired), armed)
+	}
+	for i, want := range []string{"preempting spot", "killed node 1 of 3", "brownout rate=0.50"} {
+		if !strings.Contains(fired[i].Outcome, want) {
+			t.Errorf("event %d outcome %q, want %q", i, fired[i].Outcome, want)
+		}
+	}
+	if s := armed.String(); !strings.Contains(s, "preempt-vm") || !strings.Contains(s, "kill-cache-node") {
+		t.Errorf("fired log rendering:\n%s", s)
+	}
+}
+
+// TestFireNoOps: events aimed at absent or empty resource layers
+// record no-op outcomes instead of failing the run.
+func TestFireNoOps(t *testing.T) {
+	sim := des.New(1)
+	tg := testTargets(t, sim) // live layers, but nothing provisioned
+	plan := &Plan{Events: []Event{
+		{At: time.Second, Kind: PreemptVM},
+		{At: time.Second, Kind: KillCacheNode},
+		{At: time.Second, Kind: PreemptVM},
+	}}
+	none := &Plan{Events: []Event{
+		{At: time.Second, Kind: PreemptVM},
+		{At: time.Second, Kind: KillCacheNode},
+		{At: time.Second, Kind: StoreBrownout},
+		{At: time.Second, Kind: Kind(99)},
+	}}
+	armed := plan.Arm(sim, tg)
+	unarmed := none.Arm(sim, Targets{})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	for _, f := range append(armed.Fired(), unarmed.Fired()...) {
+		if !strings.Contains(f.Outcome, "no-op") {
+			t.Errorf("%v outcome = %q, want a no-op", f.Event.Kind, f.Outcome)
+		}
+	}
+}
+
+// TestPickVictimPrefersSpot: with both capacity classes running, the
+// provider reclaims the interruptible instance, and a second signal
+// moves on to the next victim instead of re-noticing the first.
+func TestPickVictimPrefersSpot(t *testing.T) {
+	sim := des.New(1)
+	pr := vm.NewProvisioner(sim)
+	var onDemand, spot *vm.Instance
+	sim.Spawn("driver", func(p *des.Proc) {
+		var err error
+		onDemand, err = pr.Provision(p, "bx2-2x8")
+		if err != nil {
+			t.Errorf("Provision: %v", err)
+			return
+		}
+		spot, err = pr.ProvisionSpot(p, "bx2-2x8")
+		if err != nil {
+			t.Errorf("ProvisionSpot: %v", err)
+			return
+		}
+		if v := pickVictim(pr); v != spot {
+			t.Error("victim is not the spot instance")
+		}
+		spot.Preempt()
+		if v := pickVictim(pr); v != onDemand {
+			t.Error("second victim is not the remaining on-demand instance")
+		}
+		onDemand.Stop()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if PreemptVM.String() != "preempt-vm" || KillCacheNode.String() != "kill-cache-node" ||
+		StoreBrownout.String() != "store-brownout" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Error("unknown kind not numbered")
+	}
+}

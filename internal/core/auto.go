@@ -81,12 +81,16 @@ func (*AutoExchange) Name() string { return "auto" }
 // planEnv assembles the planner's priced cloud from the executor's
 // live services — the same profiles the run will execute against.
 func (a *AutoExchange) planEnv(exec *Executor) autoplan.Env {
+	pcfg := exec.Platform.Config()
 	env := autoplan.Env{
-		Store:            shuffle.ProfileOf(exec.Store.Config()),
-		FunctionMemoryMB: exec.Platform.Config().MemoryMB,
-		FunctionStartup:  exec.Platform.Config().ColdStart,
-		Prices:           exec.Prices,
-		NoHierarchical:   !exec.Shuffle.HierarchicalEnabled(),
+		Store:                 shuffle.ProfileOf(exec.Store.Config()),
+		FunctionMemoryMB:      pcfg.MemoryMB,
+		FunctionStartup:       pcfg.ColdStart,
+		Prices:                exec.Prices,
+		NoHierarchical:        !exec.Shuffle.HierarchicalEnabled(),
+		FaasFailureRate:       pcfg.FailureRate,
+		FaasStragglerRate:     pcfg.StragglerRate,
+		FaasStragglerSlowdown: pcfg.StragglerSlowdown,
 	}
 	if exec.CacheShuffle != nil && exec.CacheProv != nil {
 		env.HasCache = true
@@ -191,7 +195,7 @@ func (a *AutoExchange) RunSort(ctx *StageContext, params SortParams) (SortOutcom
 	vBefore := ctx.Exec.vmCostSnapshot()
 	cBefore := ctx.Exec.cacheCostSnapshot()
 
-	outcome, err := a.dispatch(ctx, params, dec.Chosen)
+	outcome, err := a.dispatch(ctx, params, &dec)
 	if err != nil {
 		return outcome, err
 	}
@@ -223,9 +227,16 @@ func (a *AutoExchange) RunSort(ctx *StageContext, params SortParams) (SortOutcom
 
 // dispatch hands the job to the chosen family's concrete strategy with
 // the planned configuration filled in.
-func (a *AutoExchange) dispatch(ctx *StageContext, params SortParams, c autoplan.Candidate) (SortOutcome, error) {
+func (a *AutoExchange) dispatch(ctx *StageContext, params SortParams, dec *autoplan.Decision) (SortOutcome, error) {
+	c := dec.Chosen
 	q := params
 	q.Workers = c.Workers
+	if dec.Speculation.Arm {
+		// The planner's failure-exposure model says backup invocations
+		// pay for themselves: arm wave-level speculation on function
+		// families (the VM family has no waves to speculate).
+		q.Speculate = true
+	}
 	switch c.Strategy {
 	case autoplan.ObjectStorage:
 		q.Hierarchical = false
@@ -241,6 +252,8 @@ func (a *AutoExchange) dispatch(ctx *StageContext, params SortParams, c autoplan
 	case autoplan.VMStaged:
 		ve := a.VM
 		ve.InstanceType = c.Instance
+		ve.Spot = c.Spot
+		q.Speculate = false // single VM: nothing to speculate
 		if ve.SortBps <= 0 {
 			// Run with the same sort throughput the planner predicted
 			// with, or the simulated VM skips the sort pass entirely

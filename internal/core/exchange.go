@@ -78,6 +78,15 @@ type SortOutcome struct {
 	Workers int
 	// Detail is a human-readable summary for tracing.
 	Detail string
+	// Restarts counts failure-driven re-executions absorbed to finish
+	// the sort (VM preemption restarts, cache slab regeneration waves).
+	Restarts int
+	// ReworkBytes is the data volume re-processed because of failures:
+	// re-staged and re-sorted input, regenerated cache slabs.
+	ReworkBytes int64
+	// FallbackSlabs counts intermediate partitions the cache exchange
+	// rerouted through object storage after a node loss.
+	FallbackSlabs int
 }
 
 // ExchangeStrategy is how a sort stage moves and processes its data —
@@ -180,7 +189,18 @@ func (c *CacheExchange) RunSort(ctx *StageContext, params SortParams) (SortOutco
 	detail := fmt.Sprintf("shuffle via %d-node %s: %d workers, provision %v, phase1 %v, phase2 %v",
 		res.Nodes, via, res.Workers, res.Provision.Round(time.Millisecond),
 		res.Phase1.Round(time.Millisecond), res.Phase2.Round(time.Millisecond))
-	return SortOutcome{OutputKeys: res.OutputKeys, Workers: res.Workers, Detail: detail}, nil
+	if res.FallbackSlabs > 0 || res.Restarts > 0 {
+		detail += fmt.Sprintf(" (degraded: %d slab(s) via store, %d recovery wave(s))",
+			res.FallbackSlabs, res.Restarts)
+	}
+	return SortOutcome{
+		OutputKeys:    res.OutputKeys,
+		Workers:       res.Workers,
+		Detail:        detail,
+		Restarts:      res.Restarts,
+		ReworkBytes:   res.ReworkBytes,
+		FallbackSlabs: res.FallbackSlabs,
+	}, nil
 }
 
 // VMExchange is the "VM-supported" hybrid strategy (Figure 1 A): the
@@ -198,11 +218,18 @@ type VMExchange struct {
 	// Conns is the number of parallel storage connections used for
 	// staging (bounded by vCPUs when zero).
 	Conns int
+	// Spot provisions interruptible capacity at the type's spot rate.
+	// A preempted leg restarts on a fresh instance — on-demand for the
+	// fallback attempts, so one preemption cannot cascade — with the
+	// rework metered in the outcome. Ignored when Instance is set.
+	Spot bool
 	// Instance, when set, is a session-owned running instance: the sort
 	// stages through it instead of provisioning (no boot, no Setup),
 	// the instance is left running afterwards, and its instance-hours
 	// are attributed by the session rather than to this stage.
-	// InstanceType is ignored.
+	// InstanceType is ignored. If the provider preempts the standing
+	// instance mid-sort, the sort restarts on a fresh on-demand
+	// instance owned (and stopped) by this stage.
 	Instance *vm.Instance
 }
 
@@ -211,7 +238,16 @@ var _ ExchangeStrategy = (*VMExchange)(nil)
 // Name implements ExchangeStrategy.
 func (*VMExchange) Name() string { return "vm" }
 
-// RunSort implements ExchangeStrategy.
+// vmMaxAttempts bounds the preemption restart loop. The first retry
+// already falls back to on-demand capacity, which is never preempted
+// by the provider, so in practice one restart suffices; the bound
+// guards against a standing instance preempted on the retry too.
+const vmMaxAttempts = 3
+
+// RunSort implements ExchangeStrategy. A preempted attempt restarts
+// the lost leg on a fresh instance — on-demand from the first retry —
+// with the rework metered in the outcome. Output parts already durable
+// in object storage are not re-written (keys are deterministic).
 func (v *VMExchange) RunSort(ctx *StageContext, params SortParams) (SortOutcome, error) {
 	if ctx.Exec.Provisioner == nil {
 		return SortOutcome{}, errors.New("core: executor has no VM provisioner")
@@ -219,19 +255,56 @@ func (v *VMExchange) RunSort(ctx *StageContext, params SortParams) (SortOutcome,
 	if params.Workers <= 0 {
 		return SortOutcome{}, errors.New("core: VM exchange needs an explicit Workers count")
 	}
+	keys := make([]string, params.Workers)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%spart-%04d", params.OutputPrefix, i)
+	}
+	putDone := make([]bool, params.Workers)
+	var restarts int
+	var rework int64
+	for attempt := 0; attempt < vmMaxAttempts; attempt++ {
+		out, lost, err := v.runAttempt(ctx, params, keys, putDone, attempt)
+		if err == nil {
+			out.Restarts = restarts
+			out.ReworkBytes = rework
+			return out, nil
+		}
+		if !errors.Is(err, vm.ErrPreempted) {
+			return SortOutcome{}, err
+		}
+		restarts++
+		rework += lost
+	}
+	return SortOutcome{}, fmt.Errorf("vm exchange: gave up after %d preemptions: %w",
+		restarts, vm.ErrPreempted)
+}
+
+// runAttempt executes one staging→sort→write pass. On preemption it
+// returns vm.ErrPreempted plus the bytes of work lost with the
+// instance's memory (to be redone by the next attempt).
+func (v *VMExchange) runAttempt(ctx *StageContext, params SortParams, keys []string, putDone []bool, attempt int) (SortOutcome, int64, error) {
 	p := ctx.Proc
 	var inst *vm.Instance
-	standing := v.Instance != nil
-	if standing {
+	// The standing instance serves only the first attempt: if the
+	// provider preempted it, the retries run on stage-owned capacity.
+	standing := v.Instance != nil && attempt == 0
+	switch {
+	case standing:
 		if v.Instance.Stopped() {
-			return SortOutcome{}, errors.New("vm exchange: standing instance is stopped")
+			return SortOutcome{}, 0, errors.New("vm exchange: standing instance is stopped")
 		}
 		inst = v.Instance
-	} else {
+	default:
 		var err error
-		inst, err = ctx.Exec.Provisioner.Provision(p, v.InstanceType)
+		// Spot capacity only on the first attempt: the fallback is
+		// on-demand so one preemption cannot cascade into another.
+		if v.Spot && attempt == 0 {
+			inst, err = ctx.Exec.Provisioner.ProvisionSpot(p, v.InstanceType)
+		} else {
+			inst, err = ctx.Exec.Provisioner.Provision(p, v.InstanceType)
+		}
 		if err != nil {
-			return SortOutcome{}, err
+			return SortOutcome{}, 0, err
 		}
 		defer inst.Stop()
 		if v.Setup > 0 {
@@ -247,35 +320,45 @@ func (v *VMExchange) RunSort(ctx *StageContext, params SortParams) (SortOutcome,
 
 	head, err := client.Head(p, params.InputBucket, params.InputKey)
 	if err != nil {
-		return SortOutcome{}, fmt.Errorf("vm exchange: stat input: %w", err)
+		return SortOutcome{}, 0, fmt.Errorf("vm exchange: stat input: %w", err)
 	}
 	size := head.Size
 	if size == 0 {
-		return SortOutcome{}, errors.New("vm exchange: empty input")
+		return SortOutcome{}, 0, errors.New("vm exchange: empty input")
 	}
 	if int64(inst.Type().MemoryGB)<<30 < size {
-		return SortOutcome{}, fmt.Errorf(
+		return SortOutcome{}, 0, fmt.Errorf(
 			"vm exchange: %d-byte dataset exceeds %s memory (%d GB)",
 			size, inst.Type().Name, inst.Type().MemoryGB)
+	}
+	if inst.Preempted() {
+		return SortOutcome{}, 0, vm.ErrPreempted
 	}
 
 	// Stage in: parallel ranged GETs over the NIC.
 	parts, err := parallelFetch(p, client, params.InputBucket, params.InputKey, size, conns)
 	if err != nil {
-		return SortOutcome{}, err
+		return SortOutcome{}, 0, err
 	}
 	whole := payload.Concat(parts...)
+	if inst.Preempted() {
+		// The staged bytes lived in the reclaimed instance's memory.
+		return SortOutcome{}, size, vm.ErrPreempted
+	}
 
 	// Local sort: the real bytes are sorted for correctness; virtual
 	// time is charged by modeled aggregate throughput.
 	if v.SortBps > 0 {
 		p.Sleep(time.Duration(float64(size) / v.SortBps * float64(time.Second)))
 	}
+	if inst.Preempted() {
+		return SortOutcome{}, size, vm.ErrPreempted
+	}
 	var outParts []payload.Payload
 	if raw, ok := whole.Bytes(); ok {
 		recs, err := bed.Unmarshal(raw)
 		if err != nil {
-			return SortOutcome{}, fmt.Errorf("vm exchange: parse: %w", err)
+			return SortOutcome{}, 0, fmt.Errorf("vm exchange: parse: %w", err)
 		}
 		bed.Sort(recs)
 		outParts = splitRecords(recs, params.Workers)
@@ -283,23 +366,48 @@ func (v *VMExchange) RunSort(ctx *StageContext, params SortParams) (SortOutcome,
 		outParts = splitSized(size, params.Workers)
 	}
 
-	// Stage out: parallel PUTs, at most conns in flight.
-	keys := make([]string, len(outParts))
-	for i := range keys {
-		keys[i] = fmt.Sprintf("%spart-%04d", params.OutputPrefix, i)
+	// Stage out: parallel PUTs, at most conns in flight, skipping parts
+	// a preempted earlier attempt already made durable. PUTs that were
+	// in flight when a reclaim lands still complete (the bytes were on
+	// the wire), so a post-wave preemption costs nothing: the output is
+	// in the store and the job is done.
+	var pendKeys []string
+	var pendParts []payload.Payload
+	var pendIdx []int
+	for i := range outParts {
+		if putDone[i] {
+			continue
+		}
+		pendKeys = append(pendKeys, keys[i])
+		pendParts = append(pendParts, outParts[i])
+		pendIdx = append(pendIdx, i)
 	}
-	if err := parallelPut(p, client, params.OutputBucket, keys, outParts, conns); err != nil {
-		return SortOutcome{}, err
+	if err := parallelPut(p, client, params.OutputBucket, pendKeys, pendParts, conns); err != nil {
+		if inst.Preempted() {
+			// Conservative: without per-put completion tracking the
+			// whole write wave is redone.
+			return SortOutcome{}, size, vm.ErrPreempted
+		}
+		return SortOutcome{}, 0, err
+	}
+	for _, i := range pendIdx {
+		putDone[i] = true
 	}
 	boot := "boot+setup then"
 	if standing {
 		boot = "standing instance,"
 	} else {
+		if inst.Spot() {
+			boot = "spot " + boot
+		}
 		inst.Stop()
 	}
 	detail := fmt.Sprintf("sort inside %s: %s %d-way staged I/O over %d conns",
 		inst.Type().Name, boot, params.Workers, conns)
-	return SortOutcome{OutputKeys: keys, Workers: params.Workers, Detail: detail}, nil
+	if attempt > 0 {
+		detail += fmt.Sprintf(" (recovered after %d preemption(s))", attempt)
+	}
+	return SortOutcome{OutputKeys: keys, Workers: params.Workers, Detail: detail}, 0, nil
 }
 
 // parallelFetch range-reads an object with conns concurrent

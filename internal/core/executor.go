@@ -40,6 +40,13 @@ type StageReport struct {
 	// one to run state ("<name>.detail") — for sort stages the exchange
 	// trace, including the auto-planner's chosen strategy.
 	Detail string
+	// Restarts / ReworkBytes / FallbackSlabs surface the stage's
+	// failure recovery when it published them to run state: re-executed
+	// legs after a VM preemption, input re-read to regenerate lost
+	// cache slabs, and slabs rerouted through object storage.
+	Restarts      int
+	ReworkBytes   int64
+	FallbackSlabs int
 }
 
 // Duration is the stage's wall-clock (virtual) time.
@@ -67,6 +74,24 @@ func (r *RunReport) Latency() time.Duration { return r.End - r.Start }
 // TotalUSD is the run's full attributed spend: metered stage costs
 // plus the session standing-resource share.
 func (r *RunReport) TotalUSD() float64 { return r.Cost.Total() + r.StandingUSD }
+
+// Restarts sums the stages' failure-recovery re-executions.
+func (r *RunReport) Restarts() int {
+	var n int
+	for _, s := range r.Stages {
+		n += s.Restarts
+	}
+	return n
+}
+
+// ReworkBytes sums the stages' failure-driven re-processed volume.
+func (r *RunReport) ReworkBytes() int64 {
+	var n int64
+	for _, s := range r.Stages {
+		n += s.ReworkBytes
+	}
+	return n
+}
 
 // Stage returns the report for the named stage.
 func (r *RunReport) Stage(name string) (StageReport, bool) {
@@ -220,6 +245,15 @@ func (e *Executor) Run(p *des.Proc, w *Workflow) (*RunReport, error) {
 			}
 			if detail, derr := state.String(n.stage.Name() + ".detail"); derr == nil {
 				sr.Detail = detail
+			}
+			if v, verr := state.Int(n.stage.Name() + ".restarts"); verr == nil {
+				sr.Restarts = v
+			}
+			if v, verr := state.Int(n.stage.Name() + ".reworkBytes"); verr == nil {
+				sr.ReworkBytes = int64(v)
+			}
+			if v, verr := state.Int(n.stage.Name() + ".fallbackSlabs"); verr == nil {
+				sr.FallbackSlabs = v
 			}
 			sr.Cost.Add("functions", e.Prices.FunctionsCost(sr.Faas))
 			sr.Cost.Add("storage requests", e.Prices.StorageCost(sr.Store))

@@ -73,6 +73,9 @@ func (s *SortStage) Run(ctx *StageContext) error {
 	ctx.State.Set(s.Name()+".keys", outcome.OutputKeys)
 	ctx.State.Set(s.Name()+".workers", outcome.Workers)
 	ctx.State.Set(s.Name()+".detail", outcome.Detail)
+	ctx.State.Set(s.Name()+".restarts", outcome.Restarts)
+	ctx.State.Set(s.Name()+".reworkBytes", int(outcome.ReworkBytes))
+	ctx.State.Set(s.Name()+".fallbackSlabs", outcome.FallbackSlabs)
 	return nil
 }
 

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/faaspipe/faaspipe/internal/calib"
+)
+
+const chaosTestBytes = int64(1000e6)
+
+func chaosCell(t *testing.T, res ChaosResult, kind StrategyKind, sched FaultSchedule) ChaosCell {
+	t.Helper()
+	for _, c := range res.Rows {
+		if c.Kind == kind && c.Schedule == sched {
+			return c
+		}
+	}
+	t.Fatalf("no cell %v/%v", kind, sched)
+	return ChaosCell{}
+}
+
+// TestChaosMatrix is the graceful-degradation contract: every cell of
+// the strategy x fault matrix completes, the targeted faults actually
+// bite (restarts / rework / fallbacks metered), and no cell's money
+// leaks — the run's attributed spend equals the session bill exactly.
+func TestChaosMatrix(t *testing.T) {
+	res, err := ChaosMatrix(calib.Paper(), chaosTestBytes, 8)
+	if err != nil {
+		t.Fatalf("ChaosMatrix: %v", err)
+	}
+	if want := len(chaosStrategies) * len(chaosSchedules); len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	for _, c := range res.Rows {
+		if !c.Completed {
+			t.Errorf("cell %v/%v did not complete", c.Kind, c.Schedule)
+		}
+		if math.Abs(c.RunUSD-c.SessionUSD) > 1e-9 {
+			t.Errorf("cell %v/%v: run attribution $%.12f != session bill $%.12f",
+				c.Kind, c.Schedule, c.RunUSD, c.SessionUSD)
+		}
+	}
+
+	// The spot VM run must actually lose its instance and recover on a
+	// restarted leg, with the re-read volume metered.
+	vmCell := chaosCell(t, res, VMSupported, SpotPreempt)
+	if vmCell.Restarts == 0 {
+		t.Errorf("vm/preempt cell shows no restarts:\n%s", res)
+	}
+	if vmCell.ReworkBytes == 0 {
+		t.Errorf("vm/preempt cell shows no rework:\n%s", res)
+	}
+
+	// The cache run must reroute slabs through object storage rather
+	// than fail, and stay within 1.5x of its fault-free makespan.
+	cacheCell := chaosCell(t, res, CacheSupported, CacheNodeLoss)
+	if cacheCell.FallbackSlabs == 0 {
+		t.Errorf("cache/node-kill cell shows no fallback slabs:\n%s", res)
+	}
+	if cacheCell.Slowdown > 1.5 {
+		t.Errorf("cache/node-kill slowdown %.2fx exceeds 1.5x:\n%s", cacheCell.Slowdown, res)
+	}
+
+	// Baselines are clean runs.
+	for _, kind := range chaosStrategies {
+		base := chaosCell(t, res, kind, NoFault)
+		if base.Restarts != 0 || base.ReworkBytes != 0 || base.FallbackSlabs != 0 {
+			t.Errorf("baseline %v shows recovery activity: %+v", kind, base)
+		}
+	}
+}
+
+// TestChaosMatrixDeterministicAcrossSeeds: the matrix completes and
+// keeps its attribution identity under different randomness seeds (the
+// CI gate runs these under -race).
+func TestChaosMatrixSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 42, 20211206} {
+		profile := calib.Paper()
+		profile.Seed = seed
+		res, err := ChaosMatrix(profile, 500e6, 8)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, c := range res.Rows {
+			if !c.Completed {
+				t.Errorf("seed %d: cell %v/%v did not complete", seed, c.Kind, c.Schedule)
+			}
+			if math.Abs(c.RunUSD-c.SessionUSD) > 1e-9 {
+				t.Errorf("seed %d: cell %v/%v attribution drift", seed, c.Kind, c.Schedule)
+			}
+		}
+	}
+}
+
+// TestSpotDecisionFlip: under MinCost the planner takes the spot
+// discount while interruptions are rare and flips to on-demand when
+// the expected rework outprices it.
+func TestSpotDecisionFlip(t *testing.T) {
+	res, err := SpotDecisionFlip(calib.Paper(), 0, nil)
+	if err != nil {
+		t.Fatalf("SpotDecisionFlip: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if res.Rows[0].Chosen != "spot" {
+		t.Errorf("at rate %.2f/h chose %s, want spot:\n%s",
+			res.Rows[0].InterruptRate, res.Rows[0].Chosen, res)
+	}
+	if last := res.Rows[len(res.Rows)-1]; last.Chosen != "on-demand" {
+		t.Errorf("at rate %.2f/h chose %s, want on-demand:\n%s",
+			last.InterruptRate, last.Chosen, res)
+	}
+	var flipped bool
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i-1].Chosen == "spot" && res.Rows[i].Chosen == "on-demand" {
+			flipped = true
+		}
+		if res.Rows[i].SpotUSD < res.Rows[i-1].SpotUSD {
+			t.Errorf("spot expected cost fell as interrupts rose: %.6f -> %.6f at %.2f/h",
+				res.Rows[i-1].SpotUSD, res.Rows[i].SpotUSD, res.Rows[i].InterruptRate)
+		}
+		if res.Rows[i].SpotTime < res.Rows[i-1].SpotTime {
+			t.Errorf("spot expected time fell as interrupts rose at %.2f/h", res.Rows[i].InterruptRate)
+		}
+	}
+	if !flipped {
+		t.Errorf("no spot -> on-demand flip in sweep:\n%s", res)
+	}
+}
+
+func TestChaosRenderings(t *testing.T) {
+	res, err := ChaosMatrix(calib.Paper(), 500e6, 4)
+	if err != nil {
+		t.Fatalf("ChaosMatrix: %v", err)
+	}
+	out := res.String()
+	for _, want := range []string{"vm-preempt", "cache-node-kill", "store-brownout", "slowdown"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix rendering missing %q:\n%s", want, out)
+		}
+	}
+	flip, err := SpotDecisionFlip(calib.Paper(), 0, []float64{0.05, 60})
+	if err != nil {
+		t.Fatalf("SpotDecisionFlip: %v", err)
+	}
+	fout := flip.String()
+	for _, want := range []string{"interrupts/h", "chosen", "spot"} {
+		if !strings.Contains(fout, want) {
+			t.Errorf("flip rendering missing %q:\n%s", want, fout)
+		}
+	}
+	if NoFault.String() != "none" || FaultSchedule(9).String() != "FaultSchedule(9)" {
+		t.Error("FaultSchedule strings wrong")
+	}
+}

@@ -351,18 +351,209 @@ func TestMapSpeculativePropagatesHandlerError(t *testing.T) {
 	}
 }
 
-func TestSpeculationDefaults(t *testing.T) {
-	s := Speculation{}.withDefaults()
-	if s.Quantile != 0.75 || s.Multiplier != 1.5 {
-		t.Fatalf("defaults = %+v", s)
+// TestSpeculationValidateAndDefaults pins the symmetric contract:
+// zero fields default, nonzero out-of-range fields error — for BOTH
+// knobs. (Multiplier used to be silently rewritten where Quantile was
+// too, but neither reported the bad value; now both do.)
+func TestSpeculationValidateAndDefaults(t *testing.T) {
+	cases := []struct {
+		name         string
+		in           Speculation
+		wantErr      bool
+		wantQ, wantM float64
+	}{
+		{name: "zero defaults both", in: Speculation{}, wantQ: 0.75, wantM: 1.5},
+		{name: "valid kept", in: Speculation{Quantile: 0.9, Multiplier: 2}, wantQ: 0.9, wantM: 2},
+		{name: "quantile boundary 1", in: Speculation{Quantile: 1}, wantQ: 1, wantM: 1.5},
+		{name: "multiplier boundary 1", in: Speculation{Multiplier: 1}, wantQ: 0.75, wantM: 1},
+		{name: "negative quantile", in: Speculation{Quantile: -0.1}, wantErr: true},
+		{name: "quantile above 1", in: Speculation{Quantile: 2}, wantErr: true},
+		{name: "multiplier below 1", in: Speculation{Multiplier: 0.5}, wantErr: true},
+		{name: "negative multiplier", in: Speculation{Multiplier: -1}, wantErr: true},
 	}
-	s = Speculation{Quantile: 2, Multiplier: 0.5}.withDefaults()
-	if s.Quantile != 0.75 || s.Multiplier != 1.5 {
-		t.Fatalf("out-of-range not defaulted: %+v", s)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.in.Validate()
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Validate(%+v) accepted", tc.in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Validate(%+v): %v", tc.in, err)
+			}
+			s := tc.in.withDefaults()
+			if s.Quantile != tc.wantQ || s.Multiplier != tc.wantM {
+				t.Fatalf("withDefaults(%+v) = %+v, want q=%g m=%g", tc.in, s, tc.wantQ, tc.wantM)
+			}
+		})
 	}
-	s = Speculation{Quantile: 0.9, Multiplier: 2}.withDefaults()
-	if s.Quantile != 0.9 || s.Multiplier != 2 {
-		t.Fatalf("valid values clobbered: %+v", s)
+}
+
+// TestMapSpeculativeRejectsBadConfig: an out-of-range Speculation
+// surfaces as an error before any invocation launches.
+func TestMapSpeculativeRejectsBadConfig(t *testing.T) {
+	sim, pf := faultRig(t, 3, nil)
+	if err := pf.Register("f", func(ctx *Ctx, in any) (any, error) { return in, nil }); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	sim.Spawn("driver", func(p *des.Proc) {
+		_, _, err := pf.MapSpeculative(p, "f", []any{1, 2}, InvokeOptions{}, Speculation{Multiplier: 0.2})
+		if err == nil {
+			t.Error("bad Multiplier accepted")
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if pf.Meter().Invocations != 0 {
+		t.Fatalf("rejected map still launched %d invocations", pf.Meter().Invocations)
+	}
+}
+
+// TestMapSpeculativeWithRetriesAndFailures: speculation composes with
+// MaxRetries under platform failure injection — the same input can
+// burn retries on its primary AND get a backup, and every input still
+// settles with a correct result while both recovery paths meter.
+func TestMapSpeculativeWithRetriesAndFailures(t *testing.T) {
+	sim, pf := faultRig(t, 9, func(c *Config) {
+		c.FailureRate = 0.25
+		c.StragglerRate = 0.2
+		c.StragglerSlowdown = 6
+		c.ColdStartJitter = 0
+	})
+	if err := pf.Register("f", func(ctx *Ctx, in any) (any, error) {
+		ctx.Compute(time.Second)
+		return in, nil
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	var rep SpecReport
+	sim.Spawn("driver", func(p *des.Proc) {
+		inputs := make([]any, 32)
+		for i := range inputs {
+			inputs[i] = i
+		}
+		outs, r, err := pf.MapSpeculative(p, "f", inputs, InvokeOptions{MaxRetries: 8}, Speculation{})
+		rep = r
+		if err != nil {
+			t.Errorf("speculative map with retries: %v", err)
+			return
+		}
+		for i, o := range outs {
+			if o != i {
+				t.Errorf("out[%d] = %v", i, o)
+			}
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	m := pf.Meter()
+	if m.Retries == 0 {
+		t.Fatal("no retries metered at 25% failure rate over 32 inputs")
+	}
+	if rep.Backups == 0 {
+		t.Fatal("no backups launched at 20% stragglers at 6x")
+	}
+	if rep.BackupWins > rep.Backups {
+		t.Fatalf("BackupWins %d exceeds Backups %d", rep.BackupWins, rep.Backups)
+	}
+}
+
+// TestMapSpeculativeUniformlySlowWave: when EVERY primary attempt
+// straggles equally, arming is relative — the quantile completions
+// that set the deadline are themselves stragglers, so the deadline
+// lands beyond the wave and no backups launch. Homogeneous slowness
+// is not a tail; duplicating it would double cost for zero makespan.
+func TestMapSpeculativeUniformlySlowWave(t *testing.T) {
+	sim, pf := faultRig(t, 17, func(c *Config) { c.ColdStartJitter = 0 })
+	attempts := map[any]int{}
+	if err := pf.Register("f", func(ctx *Ctx, in any) (any, error) {
+		attempts[in]++
+		if attempts[in] == 1 {
+			ctx.Compute(10 * time.Second) // every primary is slow
+		} else {
+			ctx.Compute(time.Second)
+		}
+		return in, nil
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	var rep SpecReport
+	var makespan time.Duration
+	sim.Spawn("driver", func(p *des.Proc) {
+		inputs := make([]any, 16)
+		for i := range inputs {
+			inputs[i] = i
+		}
+		start := p.Now()
+		outs, r, err := pf.MapSpeculative(p, "f", inputs, InvokeOptions{}, Speculation{})
+		rep = r
+		makespan = p.Now() - start
+		if err != nil || len(outs) != 16 {
+			t.Errorf("speculative map: %v (%d outs)", err, len(outs))
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if rep.Backups != 0 {
+		t.Fatalf("uniformly slow wave launched %d backups", rep.Backups)
+	}
+	if makespan < 10*time.Second {
+		t.Fatalf("makespan %v below the primaries' compute time", makespan)
+	}
+}
+
+// TestMapSpeculativeBackupWinsMetered: one deterministic straggler
+// whose retry-free backup is fast — the backup settles the input, the
+// win is metered, and the loser's slow primary does not stretch the
+// map's makespan.
+func TestMapSpeculativeBackupWinsMetered(t *testing.T) {
+	sim, pf := faultRig(t, 21, func(c *Config) { c.ColdStartJitter = 0 })
+	attempts := map[any]int{}
+	if err := pf.Register("f", func(ctx *Ctx, in any) (any, error) {
+		attempts[in]++
+		if in == 15 && attempts[in] == 1 {
+			ctx.Compute(30 * time.Second) // the straggling primary
+		} else {
+			ctx.Compute(time.Second)
+		}
+		return in, nil
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	var rep SpecReport
+	var makespan time.Duration
+	sim.Spawn("driver", func(p *des.Proc) {
+		inputs := make([]any, 16)
+		for i := range inputs {
+			inputs[i] = i
+		}
+		start := p.Now()
+		outs, r, err := pf.MapSpeculative(p, "f", inputs, InvokeOptions{}, Speculation{})
+		rep = r
+		makespan = p.Now() - start
+		if err != nil {
+			t.Errorf("speculative map: %v", err)
+			return
+		}
+		for i, o := range outs {
+			if o != i {
+				t.Errorf("out[%d] = %v", i, o)
+			}
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if rep.Backups != 1 || rep.BackupWins != 1 {
+		t.Fatalf("Backups/BackupWins = %d/%d, want 1/1", rep.Backups, rep.BackupWins)
+	}
+	if makespan >= 30*time.Second {
+		t.Fatalf("makespan %v waited out the losing primary", makespan)
 	}
 }
 

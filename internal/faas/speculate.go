@@ -22,11 +22,31 @@ type Speculation struct {
 	Multiplier float64
 }
 
+// Validate rejects configurations that name a value outside its
+// meaningful range: a set Quantile must lie in (0, 1], a set
+// Multiplier must be at least 1 (a backup deadline before the arming
+// completion would duplicate the whole wave). Zero fields mean "use
+// the default" and always pass. Both fields get the same treatment —
+// an out-of-range value is an error, never silently rewritten to the
+// default, because a typo'd 0.15 multiplier that quietly runs as 1.5
+// invalidates whatever experiment set it.
+func (s Speculation) Validate() error {
+	if s.Quantile != 0 && (s.Quantile < 0 || s.Quantile > 1) {
+		return fmt.Errorf("faas: speculation Quantile %g outside (0, 1]", s.Quantile)
+	}
+	if s.Multiplier != 0 && s.Multiplier < 1 {
+		return fmt.Errorf("faas: speculation Multiplier %g below 1", s.Multiplier)
+	}
+	return nil
+}
+
+// withDefaults fills zero fields; Validate has already rejected
+// nonzero out-of-range values.
 func (s Speculation) withDefaults() Speculation {
-	if s.Quantile <= 0 || s.Quantile > 1 {
+	if s.Quantile == 0 {
 		s.Quantile = 0.75
 	}
-	if s.Multiplier < 1 {
+	if s.Multiplier == 0 {
 		s.Multiplier = 1.5
 	}
 	return s
@@ -53,9 +73,12 @@ type SpecReport struct {
 // Results are returned in input order with the first error by input
 // order, after every input has settled.
 func (pf *Platform) MapSpeculative(p *des.Proc, name string, inputs []any, opts InvokeOptions, sc Speculation) ([]any, SpecReport, error) {
+	rep := SpecReport{}
+	if err := sc.Validate(); err != nil {
+		return nil, rep, err
+	}
 	sc = sc.withDefaults()
 	n := len(inputs)
-	rep := SpecReport{}
 	if n == 0 {
 		return nil, rep, nil
 	}

@@ -41,6 +41,10 @@ var (
 	ErrQueueFull = errors.New("gateway: pending queue full")
 	// ErrGatewayClosed: Submit or ServeResult after Close.
 	ErrGatewayClosed = errors.New("gateway: closed")
+	// ErrDeadlineExceeded: the job outwaited its tenant's MaxQueueWait
+	// in the pending queue and was shed before dispatch. The submitter
+	// learns through Ticket.Wait — admission already succeeded.
+	ErrDeadlineExceeded = errors.New("gateway: queue deadline exceeded")
 	// ErrForbidden: an authenticated tenant asked for another tenant's
 	// result object.
 	ErrForbidden = errors.New("gateway: forbidden")
@@ -81,6 +85,11 @@ type TenantConfig struct {
 	Burst float64
 	// MaxQueued bounds the tenant's pending queue (default 64).
 	MaxQueued int
+	// MaxQueueWait bounds how long an admitted job may sit in the
+	// pending queue: a ticket queued strictly longer is shed at the
+	// next dispatch with ErrDeadlineExceeded instead of launching
+	// stale work nobody is waiting for. Zero disables shedding.
+	MaxQueueWait time.Duration
 }
 
 func (c TenantConfig) withDefaults() TenantConfig {

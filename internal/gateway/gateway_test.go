@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -180,6 +181,83 @@ func TestQueueBound(t *testing.T) {
 	})
 	if _, err := g.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestQueueDeadlineSheds: a ticket queued beyond its tenant's
+// MaxQueueWait is shed at the next dispatch with ErrDeadlineExceeded
+// — counted in the Shed ledger, not Completed/Failed — while fresher
+// tickets and deadline-free tenants launch untouched.
+func TestQueueDeadlineSheds(t *testing.T) {
+	g := openGateway(t, gateway.StaticTokens{"tok-a": "a", "tok-b": "b"},
+		gateway.Options{MaxConcurrent: 1}, session.Options{})
+	if err := g.RegisterTenant("a", gateway.TenantConfig{MaxQueued: 10, MaxQueueWait: 500 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RegisterTenant("b", gateway.TenantConfig{MaxQueued: 10}); err != nil {
+		t.Fatal(err)
+	}
+	credA, credB := gateway.Credential{Token: "tok-a"}, gateway.Credential{Token: "tok-b"}
+	drive(t, g, func(p *des.Proc) {
+		// j0 occupies the single slot for 1s; j1, j2 and b's job queue
+		// behind it.
+		if _, err := g.Submit(p, credA, sleepJob("j0", time.Second)); err != nil {
+			t.Fatalf("submit j0: %v", err)
+		}
+		var stale []*gateway.Ticket
+		for _, name := range []string{"j1", "j2"} {
+			tk, err := g.Submit(p, credA, sleepJob(name, time.Millisecond))
+			if err != nil {
+				t.Fatalf("submit %s: %v", name, err)
+			}
+			stale = append(stale, tk)
+		}
+		patient, err := g.Submit(p, credB, sleepJob("patient", time.Millisecond))
+		if err != nil {
+			t.Fatalf("submit patient: %v", err)
+		}
+		// 600ms in, j1/j2 have outwaited the 500ms deadline. The next
+		// dispatch — triggered by this fresh submission — sheds them;
+		// the fresh ticket itself is 400ms from j0's completion and
+		// survives to launch.
+		p.Sleep(600 * time.Millisecond)
+		fresh, err := g.Submit(p, credA, sleepJob("fresh", time.Millisecond))
+		if err != nil {
+			t.Fatalf("submit fresh: %v", err)
+		}
+		for i, tk := range stale {
+			rep, err := tk.Wait(p)
+			if !errors.Is(err, gateway.ErrDeadlineExceeded) {
+				t.Errorf("stale ticket %d error = %v, want ErrDeadlineExceeded", i, err)
+			}
+			if rep != nil {
+				t.Errorf("stale ticket %d has a run report", i)
+			}
+			if tk.Finished != 600*time.Millisecond {
+				t.Errorf("stale ticket %d shed at %s, want 600ms (the triggering dispatch)", i, tk.Finished)
+			}
+		}
+		if _, err := fresh.Wait(p); err != nil {
+			t.Errorf("fresh ticket: %v", err)
+		}
+		if _, err := patient.Wait(p); err != nil {
+			t.Errorf("deadline-free tenant's ticket: %v", err)
+		}
+		g.Drain(p)
+	})
+	rep, err := g.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	a, b := rep.Tenants[0], rep.Tenants[1]
+	if a.Shed != 2 || a.Completed != 2 || a.Failed != 0 {
+		t.Errorf("tenant a ledger = shed %d / done %d / failed %d, want 2/2/0", a.Shed, a.Completed, a.Failed)
+	}
+	if b.Shed != 0 || b.Completed != 1 {
+		t.Errorf("deadline-free tenant ledger = shed %d / done %d, want 0/1", b.Shed, b.Completed)
+	}
+	if !strings.Contains(rep.String(), "shed") {
+		t.Errorf("report rendering missing shed column:\n%s", rep)
 	}
 }
 

@@ -1,5 +1,7 @@
 package gateway
 
+import "fmt"
+
 // Weighted deficit round-robin fair-share dispatch.
 //
 // The scheduler divides the gateway's shared concurrency among tenants
@@ -23,6 +25,7 @@ package gateway
 // there is no standing dispatcher process (one would hold the
 // simulation's event heap hostage between arrivals).
 func (g *Gateway) dispatch() {
+	g.shedStale()
 	for g.active < g.opts.MaxConcurrent && g.pendingTotal > 0 {
 		t := g.nextCredited()
 		if t == nil {
@@ -37,6 +40,37 @@ func (g *Gateway) dispatch() {
 		}
 		t.deficit--
 		g.launch(t)
+	}
+}
+
+// shedStale drops pending tickets that have outwaited their tenant's
+// MaxQueueWait, finishing them with ErrDeadlineExceeded. Shedding is
+// lazy — checked at dispatch time, not on a timer — which is exact
+// enough: a ticket can only launch through dispatch, so no stale
+// ticket ever reaches the session, and a standing timer process would
+// hold the simulation's event heap hostage between arrivals the same
+// way a standing dispatcher would. Shed jobs count in the Shed ledger
+// only, not Completed/Failed: the tenant's failure rate measures jobs
+// that ran, the shed count measures backlog the gateway refused to
+// burn shared capacity on.
+func (g *Gateway) shedStale() {
+	now := g.sim.Now()
+	for _, t := range g.order {
+		if t.cfg.MaxQueueWait <= 0 || len(t.pending) == 0 {
+			continue
+		}
+		kept := t.pending[:0]
+		for _, tk := range t.pending {
+			if waited := now - tk.Submitted; waited > t.cfg.MaxQueueWait {
+				g.pendingTotal--
+				t.stats.Shed++
+				tk.finish(nil, fmt.Errorf("gateway: tenant %q: queued %s beyond MaxQueueWait %s: %w",
+					t.id, waited, t.cfg.MaxQueueWait, ErrDeadlineExceeded), now)
+				continue
+			}
+			kept = append(kept, tk)
+		}
+		t.pending = kept
 	}
 }
 

@@ -26,6 +26,11 @@ type TenantStats struct {
 	Completed int64
 	Failed    int64
 
+	// Shed counts admitted jobs dropped from the pending queue for
+	// outwaiting MaxQueueWait — work the gateway declined to run, so
+	// counted in neither Completed nor Failed.
+	Shed int64
+
 	// StarvedRounds counts DRR rounds this tenant sat out with work
 	// pending while others launched — zero for a correct scheduler.
 	StarvedRounds int64
@@ -69,9 +74,9 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "gateway: %d tenant(s), %d round(s), %d starved\n",
 		len(r.Tenants), r.Rounds, r.Starved)
 	for _, t := range r.Tenants {
-		fmt.Fprintf(&b, "  %-12s w=%d  %5d sub %5d adm %4d rl %4d qf  %5d done  $%.4f\n",
+		fmt.Fprintf(&b, "  %-12s w=%d  %5d sub %5d adm %4d rl %4d qf %4d shed  %5d done  $%.4f\n",
 			t.ID, t.Weight, t.Submitted, t.Admitted, t.RejectedRate, t.RejectedQueue,
-			t.Completed, t.TotalUSD())
+			t.Shed, t.Completed, t.TotalUSD())
 	}
 	fmt.Fprintf(&b, "  attributed $%.4f of session $%.4f\n", r.AttributedUSD, r.Session.TotalUSD)
 	return b.String()

@@ -14,6 +14,10 @@ var (
 	// ErrTooLarge is returned when a single value exceeds a node's
 	// capacity outright; no amount of eviction can make it fit.
 	ErrTooLarge = errors.New("memcache: value larger than node capacity")
+	// ErrNodeDown is returned for operations routed to a failed node
+	// (see Cluster.KillNode). The shard's data is gone; callers that
+	// can regenerate or re-route it should degrade rather than fail.
+	ErrNodeDown = errors.New("memcache: node is down")
 )
 
 // KeyError reports a missing key.

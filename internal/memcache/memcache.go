@@ -141,6 +141,7 @@ func (pr *Provisioner) provision(p *des.Proc, n int, spinUp time.Duration) (*Clu
 	}
 	for i := range c.nodes {
 		c.nodes[i] = &node{
+			idx:   i,
 			link:  des.NewLink(pr.sim, pr.cfg.NodeBandwidth),
 			tb:    des.NewTokenBucket(pr.sim, pr.cfg.NodeOpsPerSec, pr.cfg.OpsBurst),
 			items: make(map[string]*list.Element),
@@ -166,11 +167,13 @@ type item struct {
 
 // node is one cache shard.
 type node struct {
+	idx   int
 	link  *des.Link
 	tb    *des.TokenBucket
 	items map[string]*list.Element
 	lru   *list.List // front = most recently used
 	used  int64
+	down  bool
 }
 
 // Cluster is a running (or stopped) cache cluster.
@@ -248,14 +251,55 @@ func (c *Cluster) NodeIndexFor(key string) int {
 	return int(h.Sum32()) % len(c.nodes)
 }
 
+// KillNode fails node i: its stored data is lost (the memory is gone
+// with the host) and every request sharded to it reports ErrNodeDown
+// from now on. The node keeps billing — a managed service bills the
+// cluster size while it replaces the member. Idempotent; out-of-range
+// indexes are ignored.
+func (c *Cluster) KillNode(i int) {
+	if i < 0 || i >= len(c.nodes) {
+		return
+	}
+	n := c.nodes[i]
+	if n.down {
+		return
+	}
+	n.down = true
+	n.items = make(map[string]*list.Element)
+	n.lru = list.New()
+	n.used = 0
+}
+
+// NodeDown reports whether node i has been failed via KillNode.
+func (c *Cluster) NodeDown(i int) bool {
+	return i >= 0 && i < len(c.nodes) && c.nodes[i].down
+}
+
+// DownNodes reports how many of the cluster's nodes are down.
+func (c *Cluster) DownNodes() int {
+	var d int
+	for _, n := range c.nodes {
+		if n.down {
+			d++
+		}
+	}
+	return d
+}
+
 // admit charges one request on n: throttle then service latency.
 func (c *Cluster) admit(p *des.Proc, n *node) error {
 	if c.stopped {
 		return ErrStopped
 	}
+	if n.down {
+		return fmt.Errorf("memcache: node %d: %w", n.idx, ErrNodeDown)
+	}
 	n.tb.Take(p, 1)
 	if c.stopped { // stopped while queued on the throttle
 		return ErrStopped
+	}
+	if n.down { // failed while queued on the throttle
+		return fmt.Errorf("memcache: node %d: %w", n.idx, ErrNodeDown)
 	}
 	p.Sleep(c.cfg.RequestLatency)
 	return nil

@@ -527,3 +527,90 @@ func TestPropertyShardingDeterministic(t *testing.T) {
 		}
 	})
 }
+
+// TestKillNodeFailsItsShardOnly: a killed node loses its data and
+// rejects every op with ErrNodeDown, while keys sharded to surviving
+// nodes are untouched — the blast radius a per-slab fallback needs.
+func TestKillNodeFailsItsShardOnly(t *testing.T) {
+	rig(t, fastConfig(), 4, func(p *des.Proc, c *Cluster) {
+		byNode := map[int]string{}
+		for i := 0; len(byNode) < 2 && i < 64; i++ {
+			key := fmt.Sprintf("k%d", i)
+			if idx := c.NodeIndexFor(key); byNode[idx] == "" {
+				byNode[idx] = key
+				if err := c.Set(p, key, payload.Sized(100)); err != nil {
+					t.Fatalf("Set %s: %v", key, err)
+				}
+			}
+		}
+		var victim, survivor int
+		seen := []int{}
+		for idx := range byNode {
+			seen = append(seen, idx)
+		}
+		victim, survivor = seen[0], seen[1]
+
+		c.KillNode(victim)
+		if !c.NodeDown(victim) || c.DownNodes() != 1 {
+			t.Fatalf("NodeDown/DownNodes = %v/%d after kill", c.NodeDown(victim), c.DownNodes())
+		}
+		for _, op := range []func() error{
+			func() error { _, err := c.Get(p, byNode[victim]); return err },
+			func() error { return c.Set(p, byNode[victim], payload.Sized(1)) },
+			func() error { _, err := c.Exists(p, byNode[victim]); return err },
+			func() error { return c.Delete(p, byNode[victim]) },
+		} {
+			if err := op(); !errors.Is(err, ErrNodeDown) {
+				t.Errorf("op on killed shard = %v, want ErrNodeDown", err)
+			}
+		}
+		if _, err := c.Get(p, byNode[survivor]); err != nil {
+			t.Errorf("surviving shard's key lost: %v", err)
+		}
+		c.Stop()
+	})
+}
+
+// TestKillNodeDropsDataButKeepsBilling: the dead node's memory is
+// gone (UsedBytes shrinks) yet the managed cluster keeps billing all
+// nodes while the member is replaced.
+func TestKillNodeDropsDataButKeepsBilling(t *testing.T) {
+	cfg := fastConfig()
+	sim := des.New(1)
+	pr, err := NewProvisioner(sim, cfg)
+	if err != nil {
+		t.Fatalf("NewProvisioner: %v", err)
+	}
+	var cl *Cluster
+	sim.Spawn("test", func(p *des.Proc) {
+		cl, err = pr.Provision(p, 2)
+		if err != nil {
+			t.Errorf("Provision: %v", err)
+			return
+		}
+		for i := 0; i < 16; i++ {
+			if err := cl.Set(p, fmt.Sprintf("k%d", i), payload.Sized(100)); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+		}
+		before := cl.UsedBytes()
+		cl.KillNode(0)
+		cl.KillNode(0) // idempotent
+		cl.KillNode(9) // out of range: ignored
+		if cl.DownNodes() != 1 {
+			t.Errorf("DownNodes = %d, want 1", cl.DownNodes())
+		}
+		if cl.UsedBytes() >= before {
+			t.Errorf("UsedBytes %d did not shrink from %d after node loss", cl.UsedBytes(), before)
+		}
+		p.Sleep(time.Hour)
+		cl.Stop()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	want := 1.0 * cfg.NodeHourlyUSD * 2 // both nodes bill for the full hour
+	if got := cl.Cost(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Cost = %g, want %g (killed node still bills)", got, want)
+	}
+}

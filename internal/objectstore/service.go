@@ -109,6 +109,10 @@ type Service struct {
 	// curBytes / lastAccrue drive the stored-volume time integral.
 	curBytes   int64
 	lastAccrue time.Duration
+
+	// brownout is a transient elevated failure rate layered over
+	// cfg.FailureRate (see SetBrownout); 0 when healthy.
+	brownout float64
 }
 
 // New builds a Service on sim with the given profile.
@@ -403,8 +407,29 @@ func (s *Service) admitRead(p *des.Proc) error {
 	return nil
 }
 
+// SetBrownout sets a transient failure rate for the service, modeling
+// a degraded availability window (an AZ brownout): while set, requests
+// fail with ErrSlowDown at max(rate, Config.FailureRate). Pass 0 to
+// clear. Rates outside [0,1) are clamped.
+func (s *Service) SetBrownout(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate >= 1 {
+		rate = 0.999
+	}
+	s.brownout = rate
+}
+
+// Brownout reports the current transient failure rate.
+func (s *Service) Brownout() float64 { return s.brownout }
+
 func (s *Service) failMaybe(p *des.Proc) error {
-	if s.cfg.FailureRate > 0 && p.Rand().Float64() < s.cfg.FailureRate {
+	rate := s.cfg.FailureRate
+	if s.brownout > rate {
+		rate = s.brownout
+	}
+	if rate > 0 && p.Rand().Float64() < rate {
 		p.Sleep(s.cfg.RequestLatency)
 		s.metrics.Throttled++
 		return ErrSlowDown

@@ -296,10 +296,14 @@ func (cs *ClientStream) Next(p *des.Proc) (payload.Payload, error) {
 			cs.off += pl.Size()
 			cs.n -= pl.Size()
 			// A delivered chunk proves the store recovered: restart the
-			// backoff ladder so a later, unrelated throttle doesn't
-			// inherit this one's doubled delay. The MaxRetries budget
-			// stays shared across the stream's whole lifetime.
+			// backoff ladder and the MaxRetries budget so a later,
+			// unrelated throttle doesn't inherit this incident's doubled
+			// delay or exhausted count. The budget bounds consecutive
+			// failures per incident — a long stream crossing a transient
+			// brownout window makes progress between throttles and must
+			// not die from their lifetime total.
 			cs.backoff = cs.base
+			cs.retries = 0
 			return pl, nil
 		case errors.Is(err, io.EOF):
 			return nil, io.EOF

@@ -30,6 +30,7 @@ import (
 
 	"github.com/faaspipe/faaspipe/internal/autoplan"
 	"github.com/faaspipe/faaspipe/internal/calib"
+	"github.com/faaspipe/faaspipe/internal/chaos"
 	"github.com/faaspipe/faaspipe/internal/core"
 	"github.com/faaspipe/faaspipe/internal/des"
 	"github.com/faaspipe/faaspipe/internal/genomics"
@@ -55,6 +56,11 @@ type Options struct {
 	// that catalog type at Open; VM exchanges stage through it instead
 	// of booting their own.
 	StandingVMType string
+	// Chaos, when set, is a fault schedule armed against the session's
+	// rig at Open: its events (spot preemption, cache-node loss,
+	// object-storage brownout) fire at their virtual times while
+	// submissions run. The fired log is available via Session.Chaos.
+	Chaos *chaos.Plan
 }
 
 // Job is one unit of submission: how to bind a workflow to the
@@ -105,6 +111,8 @@ type Session struct {
 	runs              []*core.RunReport
 	seq               int
 	closed            bool
+
+	armed *chaos.Armed
 }
 
 // Open provisions the session: one simulated cloud with the built-in
@@ -123,6 +131,13 @@ func Open(profile calib.Profile, opts Options) (*Session, error) {
 		rig.Exec.AddListener(l)
 	}
 	s := &Session{rig: rig, opts: opts}
+	if opts.Chaos != nil {
+		s.armed = opts.Chaos.Arm(rig.Sim, chaos.Targets{
+			VMs:   rig.Prov,
+			Cache: rig.CacheProv,
+			Store: rig.Store,
+		})
+	}
 	if opts.WarmCacheNodes > 0 || opts.StandingVMType != "" {
 		s.standingStart = rig.Sim.Now()
 		s.attributedThrough = s.standingStart
@@ -161,6 +176,10 @@ func (s *Session) Rig() *calib.Rig { return s.rig }
 // History exposes the auto-planner's accumulated predicted-vs-actual
 // observations.
 func (s *Session) History() *autoplan.History { return s.rig.History }
+
+// Chaos exposes the armed fault schedule's fired log (nil when the
+// session was opened without one).
+func (s *Session) Chaos() *chaos.Armed { return s.armed }
 
 // standingRatePerHour is the session-owned resources' combined burn
 // rate, mirroring PriceBook.CacheCost / PriceBook.VMCost (node-hours;

@@ -93,6 +93,16 @@ type CacheResult struct {
 	// PeakCacheBytes is the high-water cache occupancy estimate
 	// (the input volume; partitions are deleted as they are merged).
 	PeakCacheBytes int64
+	// FallbackSlabs counts intermediate partitions that flowed through
+	// object storage instead of the cache because their shard node was
+	// down (direct reroutes plus regenerated slabs).
+	FallbackSlabs int
+	// Restarts counts recovery waves run after a node loss: slab
+	// regeneration passes and reduce re-runs.
+	Restarts int
+	// ReworkBytes is the input volume re-read to regenerate slabs a
+	// failed node lost.
+	ReworkBytes int64
 }
 
 // CacheProfile converts a cache node profile at a given cluster size
@@ -201,67 +211,206 @@ func (op *CacheOperator) Sort(p *des.Proc, spec CacheSpec) (CacheResult, error) 
 	}
 	res.Sample = p.Now() - sampleStart
 
-	// Phase 1: map / partition into the cache.
+	// Fallback location for slabs a dead shard can't hold: the scratch
+	// bucket (default: the output bucket), as in the store exchange.
+	fb := spec.ScratchBucket
+	if fb == "" {
+		fb = spec.OutputBucket
+	}
+
+	// Phase 1: map / partition into the cache. Slabs sharded to a node
+	// that dies mid-phase degrade to the store fallback per-slab.
 	p1Start := p.Now()
 	ranges := splitRanges(size, workers)
 	mapInputs := make([]any, workers)
 	for i := 0; i < workers; i++ {
 		mapInputs[i] = &cacheMapTask{
-			JobID:        jobID,
-			InputBucket:  spec.InputBucket,
-			InputKey:     spec.InputKey,
-			Offset:       ranges[i].off,
-			Length:       ranges[i].n,
-			TotalSize:    size,
-			Workers:      workers,
-			MapIndex:     i,
-			Boundaries:   boundaries,
-			Cache:        cluster,
-			PartitionBps: spec.PartitionBps,
-			ChunkBytes:   spec.StreamChunkBytes,
-			Buffered:     spec.BufferedRead,
+			JobID:          jobID,
+			InputBucket:    spec.InputBucket,
+			InputKey:       spec.InputKey,
+			Offset:         ranges[i].off,
+			Length:         ranges[i].n,
+			TotalSize:      size,
+			Workers:        workers,
+			MapIndex:       i,
+			Boundaries:     boundaries,
+			Cache:          cluster,
+			PartitionBps:   spec.PartitionBps,
+			ChunkBytes:     spec.StreamChunkBytes,
+			Buffered:       spec.BufferedRead,
+			FallbackBucket: fb,
 		}
 	}
-	if _, err := op.mapPhase(p, cacheMapFn, mapInputs, spec.Spec); err != nil {
+	mapOuts, err := op.mapPhase(p, cacheMapFn, mapInputs, spec.Spec)
+	if err != nil {
 		return CacheResult{}, fmt.Errorf("shuffle: cache map phase: %w", err)
+	}
+	for _, o := range mapOuts {
+		if n, ok := o.(int); ok {
+			res.FallbackSlabs += n
+		}
 	}
 	res.Phase1 = p.Now() - p1Start
 
-	// Phase 2: reduce / merge out of the cache.
+	// Phase 2: reduce / merge out of the cache, with bounded recovery:
+	// slabs lost with a dead shard (Set before the node died, no store
+	// copy) are regenerated from the input into the fallback bucket,
+	// and only reducers without durable output re-run.
 	p2Start := p.Now()
-	redInputs := make([]any, workers)
-	for i := 0; i < workers; i++ {
-		redInputs[i] = &cacheReduceTask{
-			JobID:        jobID,
-			Workers:      workers,
-			ReduceIndex:  i,
-			Cache:        cluster,
-			OutputBucket: spec.OutputBucket,
-			OutputPrefix: spec.OutputPrefix,
-			MergeBps:     spec.MergeBps,
-			Batched:      spec.BatchedGets,
-			SliceBytes:   size / int64(workers),
-			ChunkBytes:   spec.StreamChunkBytes,
-			Buffered:     spec.BufferedRead,
-		}
+	outKeys := make([]string, workers)
+	pending := make([]int, workers)
+	for i := range pending {
+		pending[i] = i
 	}
-	outs, err := op.mapPhase(p, cacheReduceFn, redInputs, spec.Spec)
-	if err != nil {
-		return CacheResult{}, fmt.Errorf("shuffle: cache reduce phase: %w", err)
+	const maxRecoveries = 2
+	for wave := 0; ; wave++ {
+		if cluster.DownNodes() > 0 {
+			lost, err := op.lostSlabs(p, client, cluster, jobID, fb, workers, pending)
+			if err != nil {
+				return CacheResult{}, fmt.Errorf("shuffle: cache loss scan: %w", err)
+			}
+			if len(lost) > 0 {
+				slabs, rework, err := op.regenerate(p, spec, jobID, cluster, fb, ranges, size, workers, boundaries, lost)
+				if err != nil {
+					return CacheResult{}, fmt.Errorf("shuffle: cache slab regen: %w", err)
+				}
+				res.Restarts++
+				res.FallbackSlabs += slabs
+				res.ReworkBytes += rework
+			}
+		}
+		redInputs := make([]any, len(pending))
+		for i, r := range pending {
+			redInputs[i] = &cacheReduceTask{
+				JobID:          jobID,
+				Workers:        workers,
+				ReduceIndex:    r,
+				Cache:          cluster,
+				OutputBucket:   spec.OutputBucket,
+				OutputPrefix:   spec.OutputPrefix,
+				MergeBps:       spec.MergeBps,
+				Batched:        spec.BatchedGets,
+				SliceBytes:     size / int64(workers),
+				ChunkBytes:     spec.StreamChunkBytes,
+				Buffered:       spec.BufferedRead,
+				FallbackBucket: fb,
+			}
+		}
+		outs, err := op.mapPhase(p, cacheReduceFn, redInputs, spec.Spec)
+		if err == nil {
+			for i, o := range outs {
+				key, ok := o.(string)
+				if !ok {
+					return CacheResult{}, fmt.Errorf("shuffle: cache reduce returned %T, want string key", o)
+				}
+				outKeys[pending[i]] = key
+			}
+			break
+		}
+		if wave >= maxRecoveries || !isNodeLoss(err) {
+			return CacheResult{}, fmt.Errorf("shuffle: cache reduce phase: %w", err)
+		}
+		// A shard died mid-reduce. Reducers whose output is already
+		// durable are done (their keys are deterministic); the rest
+		// re-run after the loss scan above regenerates what they need.
+		res.Restarts++
+		var still []int
+		for _, r := range pending {
+			key := outputKey(spec.OutputPrefix, r)
+			if _, herr := client.Head(p, spec.OutputBucket, key); herr == nil {
+				outKeys[r] = key
+				continue
+			} else if !objectstore.IsNotFound(herr) {
+				return CacheResult{}, fmt.Errorf("shuffle: cache recovery scan: %w", herr)
+			}
+			still = append(still, r)
+		}
+		pending = still
+		if len(pending) == 0 {
+			break
+		}
 	}
 	res.Phase2 = p.Now() - p2Start
-	for _, o := range outs {
-		key, ok := o.(string)
-		if !ok {
-			return CacheResult{}, fmt.Errorf("shuffle: cache reduce returned %T, want string key", o)
-		}
-		res.OutputKeys = append(res.OutputKeys, key)
-	}
+	res.OutputKeys = outKeys
 	if owned {
 		cluster.Stop()
 		res.CacheUSD = cluster.Cost()
 	}
 	return res, nil
+}
+
+// isNodeLoss reports whether err stems from a dead cache shard.
+func isNodeLoss(err error) bool {
+	return errors.Is(err, memcache.ErrNodeDown) || errors.Is(err, errSlabLost)
+}
+
+// lostSlabs scans the pending reducers' slab keys for ones sharded to
+// a dead node with no object-storage fallback copy — data that died
+// with the shard and must be regenerated. Results group lost reducer
+// indexes by map index.
+func (op *CacheOperator) lostSlabs(p *des.Proc, client *objectstore.Client, cluster *memcache.Cluster,
+	jobID, fb string, workers int, reducers []int) (map[int][]int, error) {
+	lost := make(map[int][]int)
+	for m := 0; m < workers; m++ {
+		for _, r := range reducers {
+			if !cluster.NodeDown(cluster.NodeIndexFor(partKey(jobID, m, r))) {
+				continue
+			}
+			if _, err := client.Head(p, fb, fallbackKey(jobID, m, r)); err != nil {
+				if !objectstore.IsNotFound(err) {
+					return nil, err
+				}
+				lost[m] = append(lost[m], r)
+			}
+		}
+	}
+	return lost, nil
+}
+
+// regenerate re-derives lost slabs by re-running the affected map
+// slices in force-store mode, emitting only the lost reducer
+// partitions into the fallback bucket. Deterministic boundaries make
+// the regenerated slabs byte-identical to the lost ones.
+func (op *CacheOperator) regenerate(p *des.Proc, spec CacheSpec, jobID string, cluster *memcache.Cluster,
+	fb string, ranges []byteRange, size int64, workers int, boundaries []Boundary, lost map[int][]int) (int, int64, error) {
+	var inputs []any
+	var rework int64
+	for m := 0; m < workers; m++ {
+		rs, ok := lost[m]
+		if !ok {
+			continue
+		}
+		inputs = append(inputs, &cacheMapTask{
+			JobID:          jobID,
+			InputBucket:    spec.InputBucket,
+			InputKey:       spec.InputKey,
+			Offset:         ranges[m].off,
+			Length:         ranges[m].n,
+			TotalSize:      size,
+			Workers:        workers,
+			MapIndex:       m,
+			Boundaries:     boundaries,
+			Cache:          cluster,
+			PartitionBps:   spec.PartitionBps,
+			ChunkBytes:     spec.StreamChunkBytes,
+			Buffered:       spec.BufferedRead,
+			FallbackBucket: fb,
+			OnlyReducers:   rs,
+			ForceStore:     true,
+		})
+		rework += ranges[m].n
+	}
+	outs, err := op.mapPhase(p, cacheMapFn, inputs, spec.Spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	slabs := 0
+	for _, o := range outs {
+		if n, ok := o.(int); ok {
+			slabs += n
+		}
+	}
+	return slabs, rework, nil
 }
 
 // mapPhase runs one wave of fn over inputs with the spec's fault
@@ -290,6 +439,55 @@ type cacheMapTask struct {
 	PartitionBps float64
 	ChunkBytes   int64
 	Buffered     bool
+	// FallbackBucket receives slabs whose shard node is down: the map
+	// degrades per-slab to the object-storage path instead of failing.
+	FallbackBucket string
+	// OnlyReducers restricts emission to these reducer indexes (nil:
+	// all) — the regeneration wave re-derives only lost slabs.
+	OnlyReducers []int
+	// ForceStore writes every emitted slab to FallbackBucket without
+	// trying the cache (regeneration after a node loss).
+	ForceStore bool
+}
+
+// emits reports whether the task emits reducer r's slab.
+func (t *cacheMapTask) emits(r int) bool {
+	if t.OnlyReducers == nil {
+		return true
+	}
+	for _, x := range t.OnlyReducers {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// fallbackKey names a slab's object-storage fallback location.
+func fallbackKey(jobID string, m, r int) string {
+	return "fallback/" + partKey(jobID, m, r)
+}
+
+// setSlab stores one reducer slab, degrading to the object-storage
+// fallback when the shard node is down. It reports whether the slab
+// went to the store.
+func (t *cacheMapTask) setSlab(ctx *faas.Ctx, r int, pl payload.Payload) (bool, error) {
+	if !t.ForceStore {
+		err := t.Cache.Set(ctx.Proc, partKey(t.JobID, t.MapIndex, r), pl)
+		if err == nil {
+			return false, nil
+		}
+		if !errors.Is(err, memcache.ErrNodeDown) || t.FallbackBucket == "" {
+			return false, err
+		}
+	}
+	if t.FallbackBucket == "" {
+		return false, fmt.Errorf("shuffle: cache map %d: no fallback bucket", t.MapIndex)
+	}
+	if err := ctx.Store.Put(ctx.Proc, t.FallbackBucket, fallbackKey(t.JobID, t.MapIndex, r), pl); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // read returns the task's input-slice geometry for the streaming path.
@@ -317,23 +515,67 @@ type cacheReduceTask struct {
 	ChunkBytes int64
 	// Buffered restores the pre-streaming merge + monolithic Put.
 	Buffered bool
+	// FallbackBucket holds slabs the map phase rerouted (or a
+	// regeneration wave rebuilt) through object storage after a node
+	// loss; reads fall back here per-slab.
+	FallbackBucket string
+}
+
+// errSlabLost marks a slab gone from both the cache and the store
+// fallback: its shard node died with the data and no regeneration has
+// run yet. The operator reacts by regenerating and re-running.
+var errSlabLost = errors.New("shuffle: cache slab lost")
+
+// fetchRun retrieves mapper m's slab for this reducer, falling back to
+// the object-storage copy when the shard node is down (or the key is
+// gone with a replaced node).
+func (t *cacheReduceTask) fetchRun(p *des.Proc, store *objectstore.Client, m int) (payload.Payload, error) {
+	pl, err := t.Cache.Get(p, partKey(t.JobID, m, t.ReduceIndex))
+	if err == nil {
+		return pl, nil
+	}
+	if !errors.Is(err, memcache.ErrNodeDown) && !memcache.IsNotFound(err) {
+		return nil, err
+	}
+	if t.FallbackBucket == "" {
+		return nil, err
+	}
+	pl, serr := store.Get(p, t.FallbackBucket, fallbackKey(t.JobID, m, t.ReduceIndex))
+	if serr != nil {
+		if objectstore.IsNotFound(serr) {
+			return nil, fmt.Errorf("%w: m%d_r%d (%v)", errSlabLost, m, t.ReduceIndex, err)
+		}
+		return nil, serr
+	}
+	return pl, nil
 }
 
 // cacheMapHandler consumes its input slice from the object store as a
 // stream of chunks, partitioning as they arrive, and Sets one cache
-// entry per reducer. Buffered tasks keep the pre-streaming behavior.
+// entry per reducer — degrading per-slab to the object-storage
+// fallback when a shard node is down. Buffered tasks keep the
+// pre-streaming behavior. It returns the number of slabs that took the
+// fallback path.
 func cacheMapHandler(ctx *faas.Ctx, input any) (any, error) {
 	task, ok := input.(*cacheMapTask)
 	if !ok {
 		return nil, fmt.Errorf("shuffle: cache map input %T", input)
 	}
+	fallbacks := 0
 	if task.Length == 0 {
 		for r := 0; r < task.Workers; r++ {
-			if err := task.Cache.Set(ctx.Proc, partKey(task.JobID, task.MapIndex, r), payload.Real(nil)); err != nil {
+			if !task.emits(r) {
+				continue
+			}
+			fb, err := task.setSlab(ctx, r, payload.Real(nil))
+			if err != nil {
 				return nil, err
 			}
+			if fb {
+				fallbacks++
+			}
 		}
-		return nil, nil
+		return fallbacks, nil
 	}
 
 	var (
@@ -372,18 +614,32 @@ func cacheMapHandler(ctx *faas.Ctx, input any) (any, error) {
 			if int64(r) < rem {
 				n++
 			}
-			if err := task.Cache.Set(ctx.Proc, partKey(task.JobID, task.MapIndex, r), payload.Sized(n)); err != nil {
+			if !task.emits(r) {
+				continue
+			}
+			fb, err := task.setSlab(ctx, r, payload.Sized(n))
+			if err != nil {
 				return nil, fmt.Errorf("shuffle: cache map %d set partition %d: %w", task.MapIndex, r, err)
 			}
+			if fb {
+				fallbacks++
+			}
 		}
-		return nil, nil
+		return fallbacks, nil
 	}
 	for r := 0; r < task.Workers; r++ {
-		if err := task.Cache.Set(ctx.Proc, partKey(task.JobID, task.MapIndex, r), payload.RealNoCopy(parts[r])); err != nil {
+		if !task.emits(r) {
+			continue
+		}
+		fb, err := task.setSlab(ctx, r, payload.RealNoCopy(parts[r]))
+		if err != nil {
 			return nil, fmt.Errorf("shuffle: cache map %d set partition %d: %w", task.MapIndex, r, err)
 		}
+		if fb {
+			fallbacks++
+		}
 	}
-	return nil, nil
+	return fallbacks, nil
 }
 
 // cacheReduceHandler Gets its sorted run from every mapper's cache
@@ -405,41 +661,52 @@ func cacheReduceHandler(ctx *faas.Ctx, input any) (any, error) {
 		keys[m] = partKey(task.JobID, m, task.ReduceIndex)
 	}
 	var parts []payload.Payload
-	switch {
-	case task.Batched:
+	batched := task.Batched
+	if batched {
 		var err error
 		parts, err = task.Cache.MGet(ctx.Proc, keys)
 		if err != nil {
-			return nil, fmt.Errorf("shuffle: cache reduce %d mget: %w", task.ReduceIndex, err)
-		}
-	case task.Buffered:
-		parts = make([]payload.Payload, len(keys))
-		for m, key := range keys {
-			pl, err := task.Cache.Get(ctx.Proc, key)
-			if err != nil {
-				return nil, fmt.Errorf("shuffle: cache reduce %d fetch m%d: %w", task.ReduceIndex, m, err)
+			if !errors.Is(err, memcache.ErrNodeDown) && !memcache.IsNotFound(err) {
+				return nil, fmt.Errorf("shuffle: cache reduce %d mget: %w", task.ReduceIndex, err)
 			}
-			parts[m] = pl
+			// A strict pipeline fails wholesale on a dead shard; degrade
+			// to per-key fetches so the healthy shards' slabs still come
+			// from the cache and only the lost ones pay the store path.
+			batched = false
+			parts = nil
 		}
-	default:
-		// The cache has no chunked-read API, so the streamed reducer's
-		// transfer-in overlap comes from parallel connections instead:
-		// one Get per run, concurrently, sharing node NICs fairly.
-		parts = make([]payload.Payload, len(keys))
-		errs := make([]error, len(keys))
-		wg := des.NewWaitGroup(ctx.Proc.Sim())
-		for m, key := range keys {
-			m, key := m, key
-			wg.Add(1)
-			ctx.Proc.Spawn(fmt.Sprintf("cache-fetch-%d", m), func(up *des.Proc) {
-				defer wg.Done()
-				parts[m], errs[m] = task.Cache.Get(up, key)
-			})
-		}
-		wg.Wait(ctx.Proc)
-		for m, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("shuffle: cache reduce %d fetch m%d: %w", task.ReduceIndex, m, err)
+	}
+	if !batched {
+		switch {
+		case task.Buffered:
+			parts = make([]payload.Payload, len(keys))
+			for m := range keys {
+				pl, err := task.fetchRun(ctx.Proc, ctx.Store, m)
+				if err != nil {
+					return nil, fmt.Errorf("shuffle: cache reduce %d fetch m%d: %w", task.ReduceIndex, m, err)
+				}
+				parts[m] = pl
+			}
+		default:
+			// The cache has no chunked-read API, so the streamed reducer's
+			// transfer-in overlap comes from parallel connections instead:
+			// one Get per run, concurrently, sharing node NICs fairly.
+			parts = make([]payload.Payload, len(keys))
+			errs := make([]error, len(keys))
+			wg := des.NewWaitGroup(ctx.Proc.Sim())
+			for m := range keys {
+				m := m
+				wg.Add(1)
+				ctx.Proc.Spawn(fmt.Sprintf("cache-fetch-%d", m), func(up *des.Proc) {
+					defer wg.Done()
+					parts[m], errs[m] = task.fetchRun(up, ctx.Store, m)
+				})
+			}
+			wg.Wait(ctx.Proc)
+			for m, err := range errs {
+				if err != nil {
+					return nil, fmt.Errorf("shuffle: cache reduce %d fetch m%d: %w", task.ReduceIndex, m, err)
+				}
 			}
 		}
 	}
@@ -498,6 +765,10 @@ func cacheReduceHandler(ctx *faas.Ctx, input any) (any, error) {
 	}
 	for m, key := range keys {
 		if err := task.Cache.Delete(ctx.Proc, key); err != nil {
+			// A dead shard's data is already gone; freeing it is moot.
+			if errors.Is(err, memcache.ErrNodeDown) {
+				continue
+			}
 			return nil, fmt.Errorf("shuffle: cache reduce %d free m%d: %w", task.ReduceIndex, m, err)
 		}
 	}
@@ -538,6 +809,10 @@ func cacheReduceBuffered(ctx *faas.Ctx, task *cacheReduceTask, outKey string,
 	}
 	for m, key := range keys {
 		if err := task.Cache.Delete(ctx.Proc, key); err != nil {
+			// A dead shard's data is already gone; freeing it is moot.
+			if errors.Is(err, memcache.ErrNodeDown) {
+				continue
+			}
 			return nil, fmt.Errorf("shuffle: cache reduce %d free m%d: %w", task.ReduceIndex, m, err)
 		}
 	}

@@ -127,6 +127,11 @@ func (s Spec) validate() error {
 		// and failed attempts delete nothing.)
 		return errors.New("shuffle: CleanupScratch and Speculate are mutually exclusive")
 	}
+	if s.Speculate {
+		if err := s.Speculation.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

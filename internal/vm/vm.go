@@ -23,7 +23,19 @@ var (
 	ErrUnknownInstanceType = errors.New("vm: unknown instance type")
 	// ErrStopped is returned for operations on a stopped instance.
 	ErrStopped = errors.New("vm: instance is stopped")
+	// ErrPreempted is returned for operations on an instance the
+	// provider reclaimed. It unwraps to ErrStopped so existing
+	// stopped-instance handling still fires.
+	ErrPreempted = fmt.Errorf("%w: spot capacity preempted", ErrStopped)
+	// ErrNoSpotPrice is returned when ProvisionSpot is asked for a type
+	// with no spot market.
+	ErrNoSpotPrice = errors.New("vm: instance type has no spot price")
 )
+
+// PreemptionNotice is the warning window between a preemption signal
+// and the instance being reclaimed, mirroring the ~30 s notice real
+// spot/preemptible offerings give.
+const PreemptionNotice = 30 * time.Second
 
 // InstanceType describes one catalog entry.
 type InstanceType struct {
@@ -39,6 +51,13 @@ type InstanceType struct {
 	BootTime time.Duration
 	// NICBandwidth is the instance network ceiling in bytes/second.
 	NICBandwidth float64
+	// SpotHourlyUSD is the interruptible-capacity price (0: no spot
+	// market for this type).
+	SpotHourlyUSD float64
+	// InterruptRate is the expected spot interruptions per hour of
+	// runtime, the Poisson rate the failure-aware planner prices
+	// expected rework against.
+	InterruptRate float64
 }
 
 // Catalog returns the built-in instance catalog, modeled on the IBM
@@ -48,11 +67,11 @@ type InstanceType struct {
 // hybrid configuration pays.
 func Catalog() []InstanceType {
 	return []InstanceType{
-		{Name: "bx2-2x8", VCPUs: 2, MemoryGB: 8, HourlyUSD: 0.0960, BootTime: 42 * time.Second, NICBandwidth: 0.5e9},
-		{Name: "bx2-4x16", VCPUs: 4, MemoryGB: 16, HourlyUSD: 0.1920, BootTime: 45 * time.Second, NICBandwidth: 1.0e9},
-		{Name: "bx2-8x32", VCPUs: 8, MemoryGB: 32, HourlyUSD: 0.3840, BootTime: 48 * time.Second, NICBandwidth: 2.0e9},
-		{Name: "bx2-16x64", VCPUs: 16, MemoryGB: 64, HourlyUSD: 0.7680, BootTime: 52 * time.Second, NICBandwidth: 4.0e9},
-		{Name: "bx2-32x128", VCPUs: 32, MemoryGB: 128, HourlyUSD: 1.5360, BootTime: 58 * time.Second, NICBandwidth: 8.0e9},
+		{Name: "bx2-2x8", VCPUs: 2, MemoryGB: 8, HourlyUSD: 0.0960, BootTime: 42 * time.Second, NICBandwidth: 0.5e9, SpotHourlyUSD: 0.0288, InterruptRate: 0.05},
+		{Name: "bx2-4x16", VCPUs: 4, MemoryGB: 16, HourlyUSD: 0.1920, BootTime: 45 * time.Second, NICBandwidth: 1.0e9, SpotHourlyUSD: 0.0576, InterruptRate: 0.05},
+		{Name: "bx2-8x32", VCPUs: 8, MemoryGB: 32, HourlyUSD: 0.3840, BootTime: 48 * time.Second, NICBandwidth: 2.0e9, SpotHourlyUSD: 0.1152, InterruptRate: 0.05},
+		{Name: "bx2-16x64", VCPUs: 16, MemoryGB: 64, HourlyUSD: 0.7680, BootTime: 52 * time.Second, NICBandwidth: 4.0e9, SpotHourlyUSD: 0.2304, InterruptRate: 0.08},
+		{Name: "bx2-32x128", VCPUs: 32, MemoryGB: 128, HourlyUSD: 1.5360, BootTime: 58 * time.Second, NICBandwidth: 8.0e9, SpotHourlyUSD: 0.4608, InterruptRate: 0.12},
 	}
 }
 
@@ -110,9 +129,24 @@ func (pr *Provisioner) LookupType(name string) (InstanceType, error) {
 // Provision boots an instance of the named type, blocking p for the
 // boot latency, and returns the running instance.
 func (pr *Provisioner) Provision(p *des.Proc, typeName string) (*Instance, error) {
+	return pr.provision(p, typeName, false)
+}
+
+// ProvisionSpot boots an interruptible instance of the named type,
+// billed at the type's spot rate. Spot instances can be reclaimed by
+// the provider (see Instance.Preempt); callers must be prepared to
+// restart lost work elsewhere.
+func (pr *Provisioner) ProvisionSpot(p *des.Proc, typeName string) (*Instance, error) {
+	return pr.provision(p, typeName, true)
+}
+
+func (pr *Provisioner) provision(p *des.Proc, typeName string, spot bool) (*Instance, error) {
 	it, err := pr.LookupType(typeName)
 	if err != nil {
 		return nil, err
+	}
+	if spot && it.SpotHourlyUSD <= 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoSpotPrice, typeName)
 	}
 	boot := it.BootTime
 	if pr.BootJitterFrac > 0 {
@@ -122,6 +156,7 @@ func (pr *Provisioner) Provision(p *des.Proc, typeName string) (*Instance, error
 	inst := &Instance{
 		sim:       pr.sim,
 		itype:     it,
+		spot:      spot,
 		bootedAt:  pr.sim.Now(),
 		requested: pr.sim.Now() - boot,
 		cpus:      des.NewResource(pr.sim, int64(it.VCPUs)),
@@ -147,6 +182,11 @@ type Instance struct {
 	stoppedAt time.Duration
 	stopped   bool
 
+	spot      bool
+	noticed   bool // preemption notice delivered, reclaim pending
+	preempted bool
+	onNotice  []func()
+
 	cpus *des.Resource
 	nic  *des.Link
 }
@@ -156,6 +196,9 @@ func (i *Instance) Type() InstanceType { return i.itype }
 
 // BootedAt reports when the instance became ready.
 func (i *Instance) BootedAt() time.Duration { return i.bootedAt }
+
+// Spot reports whether the instance runs on interruptible capacity.
+func (i *Instance) Spot() bool { return i.spot }
 
 // Stop halts the instance; billing stops here. Stop is idempotent.
 func (i *Instance) Stop() {
@@ -169,6 +212,41 @@ func (i *Instance) Stop() {
 // Stopped reports whether the instance has been stopped.
 func (i *Instance) Stopped() bool { return i.stopped }
 
+// Preempted reports whether the provider reclaimed the instance.
+func (i *Instance) Preempted() bool { return i.preempted }
+
+// PreemptionNoticed reports whether a preemption notice has been
+// delivered (the instance may still be inside its notice window).
+func (i *Instance) PreemptionNoticed() bool { return i.noticed }
+
+// OnPreemptionNotice registers fn to run when the provider signals an
+// upcoming preemption, PreemptionNotice ahead of the reclaim. Hooks
+// run in event context and must not block.
+func (i *Instance) OnPreemptionNotice(fn func()) {
+	i.onNotice = append(i.onNotice, fn)
+}
+
+// Preempt delivers a preemption signal: notice hooks fire now and the
+// instance is reclaimed (stopped, billing ends) PreemptionNotice
+// later unless the owner stops it first. Safe to call from event
+// context; idempotent, and a no-op on already-stopped instances.
+func (i *Instance) Preempt() {
+	if i.stopped || i.noticed {
+		return
+	}
+	i.noticed = true
+	for _, fn := range i.onNotice {
+		fn()
+	}
+	i.sim.After(PreemptionNotice, func() {
+		if i.stopped {
+			return
+		}
+		i.preempted = true
+		i.Stop()
+	})
+}
+
 // BilledDuration reports the billable lifetime: provisioning request
 // to stop (or to now if still running). Providers bill from the
 // create call, not from readiness.
@@ -180,22 +258,48 @@ func (i *Instance) BilledDuration() time.Duration {
 	return end - i.requested
 }
 
+// HourlyRate reports the rate the instance bills at: the spot price
+// for interruptible capacity, the on-demand price otherwise.
+func (i *Instance) HourlyRate() float64 {
+	if i.spot {
+		return i.itype.SpotHourlyUSD
+	}
+	return i.itype.HourlyUSD
+}
+
 // Cost reports the instance's accumulated cost in USD at per-second
-// granularity.
+// granularity, at the instance's capacity class rate.
 func (i *Instance) Cost() float64 {
-	return i.BilledDuration().Seconds() * i.itype.HourlyUSD / 3600
+	return i.BilledDuration().Seconds() * i.HourlyRate() / 3600
+}
+
+// err reports the instance's terminal state as an error, nil while
+// usable.
+func (i *Instance) err() error {
+	if i.preempted {
+		return ErrPreempted
+	}
+	if i.stopped {
+		return ErrStopped
+	}
+	return nil
 }
 
 // RunTask consumes cpuTime of one vCPU, queueing if all vCPUs are
-// busy. It is the building block for local parallelism.
+// busy. It is the building block for local parallelism. Work that was
+// in flight when the provider reclaimed the instance is lost:
+// RunTask reports ErrPreempted even when the reclaim landed mid-task.
 func (i *Instance) RunTask(p *des.Proc, cpuTime time.Duration) error {
-	if i.stopped {
-		return ErrStopped
+	if err := i.err(); err != nil {
+		return err
 	}
 	i.cpus.Acquire(p, 1)
 	defer i.cpus.Release(1)
 	if cpuTime > 0 {
 		p.Sleep(cpuTime)
+	}
+	if i.preempted {
+		return ErrPreempted
 	}
 	return nil
 }
@@ -203,8 +307,8 @@ func (i *Instance) RunTask(p *des.Proc, cpuTime time.Duration) error {
 // RunParallel executes n tasks of cpuTime each across the instance's
 // vCPUs and blocks p until all complete.
 func (i *Instance) RunParallel(p *des.Proc, n int, cpuTime time.Duration) error {
-	if i.stopped {
-		return ErrStopped
+	if err := i.err(); err != nil {
+		return err
 	}
 	if n <= 0 {
 		return nil
@@ -218,6 +322,9 @@ func (i *Instance) RunParallel(p *des.Proc, n int, cpuTime time.Duration) error 
 		})
 	}
 	wg.Wait(p)
+	if i.preempted {
+		return ErrPreempted
+	}
 	return nil
 }
 

@@ -236,3 +236,115 @@ func TestProvisionerTracksInstances(t *testing.T) {
 		t.Fatalf("Instances = %d, want 2", got)
 	}
 }
+
+func TestProvisionSpotBillsSpotRate(t *testing.T) {
+	sim := des.New(1)
+	pr := NewProvisioner(sim)
+	var inst *Instance
+	sim.Spawn("driver", func(p *des.Proc) {
+		var err error
+		inst, err = pr.ProvisionSpot(p, "bx2-8x32") // 48s boot
+		if err != nil {
+			t.Errorf("ProvisionSpot: %v", err)
+			return
+		}
+		if !inst.Spot() {
+			t.Error("Spot() = false on a spot instance")
+		}
+		p.Sleep(12 * time.Second)
+		inst.Stop()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if r := inst.HourlyRate(); r != 0.1152 {
+		t.Fatalf("HourlyRate = %g, want spot 0.1152", r)
+	}
+	want := 60.0 / 3600 * 0.1152
+	if c := inst.Cost(); math.Abs(c-want) > 1e-9 {
+		t.Fatalf("Cost = %g, want %g (60s at the spot rate)", c, want)
+	}
+}
+
+func TestProvisionSpotNeedsSpotPrice(t *testing.T) {
+	sim := des.New(1)
+	pr := NewProvisionerWithCatalog(sim, []InstanceType{
+		{Name: "nospot", VCPUs: 2, MemoryGB: 8, HourlyUSD: 0.1, BootTime: time.Second, NICBandwidth: 1e9},
+	})
+	sim.Spawn("driver", func(p *des.Proc) {
+		if _, err := pr.ProvisionSpot(p, "nospot"); err == nil {
+			t.Error("ProvisionSpot on a type with no spot capacity succeeded")
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+// TestPreemptNoticeThenReclaim pins the spot-reclaim protocol: the
+// notice hooks fire at the signal, the instance keeps running (and
+// billing) through the notice window, and PreemptionNotice later it
+// is stopped with Preempted set and tasks failing ErrPreempted.
+func TestPreemptNoticeThenReclaim(t *testing.T) {
+	sim := des.New(1)
+	pr := NewProvisioner(sim)
+	var inst *Instance
+	var noticedAt time.Duration = -1
+	sim.Spawn("driver", func(p *des.Proc) {
+		inst, _ = pr.ProvisionSpot(p, "bx2-2x8") // ready at 42s
+		inst.OnPreemptionNotice(func() { noticedAt = sim.Now() })
+		p.Sleep(18 * time.Second) // t=60s
+		inst.Preempt()
+		if !inst.PreemptionNoticed() || inst.Stopped() {
+			t.Error("notice window: want noticed but still running")
+		}
+		// Inside the window the instance still serves work.
+		if err := inst.RunTask(p, time.Second); err != nil {
+			t.Errorf("RunTask inside notice window: %v", err)
+		}
+		p.Sleep(PreemptionNotice) // past the reclaim at t=90s
+		if !inst.Stopped() || !inst.Preempted() {
+			t.Error("after notice window: want stopped and preempted")
+		}
+		if err := inst.RunTask(p, time.Second); !errors.Is(err, ErrPreempted) || !errors.Is(err, ErrStopped) {
+			t.Errorf("RunTask after reclaim = %v, want ErrPreempted (wrapping ErrStopped)", err)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if noticedAt != 60*time.Second {
+		t.Fatalf("notice hook at %v, want 60s", noticedAt)
+	}
+	if d := inst.BilledDuration(); d != 90*time.Second {
+		t.Fatalf("BilledDuration = %v, want 90s (billing runs through the notice window)", d)
+	}
+}
+
+func TestPreemptIdempotentAndStopWins(t *testing.T) {
+	sim := des.New(1)
+	pr := NewProvisioner(sim)
+	notices := 0
+	sim.Spawn("driver", func(p *des.Proc) {
+		inst, _ := pr.ProvisionSpot(p, "bx2-2x8")
+		inst.OnPreemptionNotice(func() { notices++ })
+		inst.Preempt()
+		inst.Preempt() // second signal is absorbed
+		p.Sleep(time.Second)
+		inst.Stop() // owner drains and stops inside the window
+		stoppedAt := inst.BilledDuration()
+		p.Sleep(2 * PreemptionNotice)
+		if inst.Preempted() {
+			t.Error("owner-stopped instance marked preempted")
+		}
+		if inst.BilledDuration() != stoppedAt {
+			t.Error("reclaim timer re-billed a stopped instance")
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if notices != 1 {
+		t.Fatalf("notice hooks fired %d times, want 1", notices)
+	}
+}
