@@ -268,6 +268,38 @@ func BenchmarkChaosRecovery(b *testing.B) {
 	b.ReportMetric(float64(cacheCell.FallbackSlabs), "fallback-slabs")
 }
 
+// BenchmarkZoneRecovery measures recovery from a correlated whole-zone
+// outage: the spot VM leg reclaimed with its zone (re-provisioned in
+// the survivor) and the cache run losing its entire cluster (demoted
+// mid-job to the object-store path), each as a slowdown over the same
+// strategy's fault-free baseline.
+func BenchmarkZoneRecovery(b *testing.B) {
+	profile := calib.Paper()
+	var res experiments.ZoneChaosResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.ZoneChaos(profile, 1000e6, experiments.PaperWorkers, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	cell := func(kind experiments.StrategyKind, fault experiments.ZoneFault) experiments.ZoneChaosCell {
+		c, ok := res.Cell(kind, fault)
+		if !ok {
+			b.Fatalf("no cell %v/%v", kind, fault)
+		}
+		return c
+	}
+	vmCell := cell(experiments.VMSupported, experiments.ZoneOutageFault)
+	cacheCell := cell(experiments.CacheSupported, experiments.ZoneOutageFault)
+	b.ReportMetric(vmCell.Latency.Seconds(), "vm-outage-s")
+	b.ReportMetric(vmCell.Slowdown, "vm-outage-slowdown")
+	b.ReportMetric(cacheCell.Slowdown, "cache-loss-slowdown")
+	b.ReportMetric(float64(cacheCell.FallbackSlabs), "fallback-slabs")
+	soak := cell(experiments.PurelyServerless, experiments.PoissonSoakHigh)
+	b.ReportMetric(float64(soak.Events), "soak-events")
+}
+
 // BenchmarkMemorySweep is the function-memory ablation behind the
 // paper's 2 GB allocation: latency and cost per memory grant.
 func BenchmarkMemorySweep(b *testing.B) {

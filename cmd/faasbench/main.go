@@ -18,6 +18,7 @@
 //	faasbench -experiment multijob [-data 3.5] [-jobs 3]
 //	faasbench -experiment gateway [-tenants 100] [-submissions 10000]
 //	faasbench -experiment chaos [-data 3.5] [-workers 8]
+//	faasbench -experiment zonechaos [-data 3.5] [-workers 8] [-seed 7]
 //	faasbench -experiment all
 //	faasbench -auto [-data 3.5]
 //
@@ -48,9 +49,10 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "table1",
-			"one of: table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, autoplan, multijob, gateway, all")
+			"one of: table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, autoplan, multijob, gateway, chaos, zonechaos, all")
 		dataGB      = flag.Float64("data", 3.5, "dataset size in GB")
 		workers     = flag.Int("workers", 8, "parallelism degree")
+		seed        = flag.Int64("seed", 7, "arrival seed for the zonechaos Poisson soaks")
 		jobs        = flag.Int("jobs", 3, "submission count for the multijob experiment")
 		tenants     = flag.Int("tenants", 100, "tenant count for the gateway experiment")
 		submissions = flag.Int("submissions", 10000, "open-loop submission count for the gateway experiment")
@@ -59,13 +61,13 @@ func main() {
 			"engage the auto-planner: print its decision table and add the auto-planned row to table1")
 	)
 	flag.Parse()
-	if err := run(*experiment, *dataGB, *workers, *jobs, *tenants, *submissions, *trace, *auto); err != nil {
+	if err := run(*experiment, *dataGB, *workers, *jobs, *tenants, *submissions, *seed, *trace, *auto); err != nil {
 		fmt.Fprintln(os.Stderr, "faasbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, dataGB float64, workers, jobs, tenants, submissions int, trace, auto bool) error {
+func run(experiment string, dataGB float64, workers, jobs, tenants, submissions int, seed int64, trace, auto bool) error {
 	profile := calib.Paper()
 	dataBytes := int64(dataGB * 1e9)
 
@@ -226,6 +228,19 @@ func run(experiment string, dataGB float64, workers, jobs, tenants, submissions 
 		fmt.Println(flip)
 		return nil
 	}
+	zoneChaosFn := func() error {
+		res, err := experiments.ZoneChaos(profile, dataBytes, workers, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		flip, err := experiments.ZonePlacementFlip(profile, dataBytes, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(flip)
+		return nil
+	}
 
 	switch experiment {
 	case "table1":
@@ -258,13 +273,15 @@ func run(experiment string, dataGB float64, workers, jobs, tenants, submissions 
 		return gatewayFn()
 	case "chaos":
 		return chaosFn()
+	case "zonechaos":
+		return zoneChaosFn()
 	case "all":
 		// The trailing autoplan step is the decision table only: table1
 		// already ran the measured rows (with -auto it runs the full
 		// autoplan experiment, decision table included), so re-running
 		// Table1Auto here would re-simulate the most expensive part of
 		// the sweep.
-		steps := []func() error{table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, multijob, gatewayFn, chaosFn}
+		steps := []func() error{table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, multijob, gatewayFn, chaosFn, zoneChaosFn}
 		if !auto {
 			steps = append(steps, decide)
 		}

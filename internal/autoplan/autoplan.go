@@ -181,6 +181,37 @@ type Env struct {
 	// invocations retry, widening the wave tail).
 	FaasFailureRate float64
 
+	// BrownoutPerHour models the object store's brownout arrival rate
+	// (incidents per hour of run time). Each incident opens a window of
+	// BrownoutDuration (default 5s) during which requests fail with
+	// probability BrownoutRate (default 0.5) and retry on the client's
+	// exponential ladder — PR 8's per-incident retry-budget model. The
+	// planner prices the expected stalls and retried-request fees into
+	// every strategy's store legs, so store-heavy plans lose ground as
+	// the modeled incidence rises. Zero: a healthy store.
+	BrownoutPerHour  float64
+	BrownoutRate     float64
+	BrownoutDuration time.Duration
+
+	// ZoneOutagePerHour models correlated whole-zone outages: spot
+	// capacity in the zone reclaimed at once, the cache cluster hosted
+	// there dead, the store browned out for the outage window. Spot VM
+	// candidates add it to their interrupt rate; cache candidates price
+	// the expected mid-job demotion to the object-store path; all
+	// store legs price the correlated brownout windows.
+	ZoneOutagePerHour float64
+	// Zones is the number of placement domains available (default 1).
+	// With two or more, the cache family is also enumerated as a
+	// multi-zone variant: nodes spread across zones, so an outage costs
+	// 1/Zones of the rework — at a cross-zone traffic premium.
+	Zones int
+	// CrossZoneRTT is the extra request latency cross-zone cache
+	// traffic pays in multi-zone placements (default 1ms).
+	CrossZoneRTT time.Duration
+	// CrossZoneGBUSD is the per-GB fee on cache traffic crossing zone
+	// boundaries in multi-zone placements (default 0.01).
+	CrossZoneGBUSD float64
+
 	// History, when set, supplies measured actual/predicted calibration
 	// factors per family; every prediction is scaled by them before the
 	// objective is evaluated. See History.
@@ -203,6 +234,10 @@ type Candidate struct {
 	// and CostUSD are expectations under the type's InterruptRate
 	// (preemption probability, rework, re-boot, on-demand fallback).
 	Spot bool
+	// MultiZone marks a cache candidate whose nodes spread across the
+	// env's zones: zone-outage rework shrinks to 1/Zones at a
+	// cross-zone latency and traffic premium.
+	MultiZone bool
 	// Time is the predicted virtual completion time (calibrated by
 	// Env.History when one is set).
 	Time time.Duration
@@ -225,6 +260,9 @@ func (c Candidate) Config() string {
 	case Hierarchical:
 		return fmt.Sprintf("w=%d g=%d", c.Workers, c.Groups)
 	case CacheBacked:
+		if c.MultiZone {
+			return fmt.Sprintf("w=%d nodes=%d multi-zone", c.Workers, c.CacheNodes)
+		}
 		return fmt.Sprintf("w=%d nodes=%d", c.Workers, c.CacheNodes)
 	case VMStaged:
 		if c.Spot {
@@ -303,6 +341,23 @@ func (e Env) withDefaults() Env {
 	}
 	if e.VMSortBps <= 0 {
 		e.VMSortBps = DefaultVMSortBps
+	}
+	if e.BrownoutPerHour > 0 {
+		if e.BrownoutRate <= 0 {
+			e.BrownoutRate = 0.5
+		}
+		if e.BrownoutDuration <= 0 {
+			e.BrownoutDuration = 5 * time.Second
+		}
+	}
+	if e.Zones <= 0 {
+		e.Zones = 1
+	}
+	if e.CrossZoneRTT <= 0 {
+		e.CrossZoneRTT = time.Millisecond
+	}
+	if e.CrossZoneGBUSD <= 0 {
+		e.CrossZoneGBUSD = 0.01
 	}
 	return e
 }
@@ -482,11 +537,12 @@ func adviseSpeculation(c Candidate, w Workload, env Env, obj Objective) Speculat
 // reason marks the spec dead on arrival: it becomes an infeasible
 // candidate row so the decision table shows why a family is absent.
 type candidateSpec struct {
-	strategy Strategy
-	workers  int
-	instance vm.InstanceType
-	spot     bool
-	reason   string
+	strategy  Strategy
+	workers   int
+	instance  vm.InstanceType
+	spot      bool
+	multiZone bool
+	reason    string
 }
 
 // enumerate lists every configuration to evaluate, in deterministic
@@ -502,6 +558,12 @@ func enumerate(w Workload, env Env) []candidateSpec {
 		}
 		if env.HasCache {
 			specs = append(specs, candidateSpec{strategy: CacheBacked, workers: n, reason: reason})
+			// Multi-zone variant: the same cluster spread across the
+			// env's zones, trading a cross-zone premium for a 1/Zones
+			// outage blast radius. Only meaningful with 2+ zones.
+			if env.Zones > 1 {
+				specs = append(specs, candidateSpec{strategy: CacheBacked, workers: n, multiZone: true, reason: reason})
+			}
 		}
 	}
 	ladder := workerLadder(w)
@@ -554,7 +616,7 @@ func (s candidateSpec) evaluate(w Workload, env Env) Candidate {
 	case Hierarchical:
 		return predictHierarchical(s.workers, w, env)
 	case CacheBacked:
-		return predictCache(s.workers, w, env)
+		return predictCache(s.workers, s.multiZone, w, env)
 	case VMStaged:
 		return predictVM(s.instance, s.spot, w, env)
 	default:
@@ -637,5 +699,6 @@ func sortCandidates(cands []Candidate) {
 func (c Candidate) Same(o Candidate) bool {
 	return c.Strategy == o.Strategy && c.Workers == o.Workers &&
 		c.Groups == o.Groups && c.CacheNodes == o.CacheNodes &&
-		c.Instance == o.Instance && c.Spot == o.Spot
+		c.Instance == o.Instance && c.Spot == o.Spot &&
+		c.MultiZone == o.MultiZone
 }

@@ -29,6 +29,69 @@ func outputPartRequests(outBytes int64) int64 {
 
 const secondsPerMonth = 30 * 24 * 3600
 
+// The outage-induced brownout parameters mirror chaos.Process's
+// defaults: a zone outage browns the store out at 0.25 for a
+// one-minute window.
+const (
+	outageBrownoutRate = 0.25
+	outageDurationSec  = 60.0
+)
+
+// clientBackoffBase is the objectstore client's retry ladder base in
+// seconds (100ms, doubling) — the per-incident retry-budget model the
+// brownout penalty prices stalls against.
+const clientBackoffBase = 0.1
+
+// incidentPenalty prices one class of failure windows over a run:
+// incidents arrive at perHour over the makespan; each opens a window
+// of winSec during which store requests fail with probability rate and
+// retry on the client's exponential ladder. The critical path absorbs
+// roughly the failed share of each window plus the mean backoff a
+// retried request waits out, and the retried share of the run's
+// requests re-bills its class fees.
+func incidentPenalty(env Env, makespan time.Duration, classA, classB int64,
+	perHour, rate, winSec float64) (extraSec, extraUSD float64) {
+	if perHour <= 0 || makespan <= 0 {
+		return 0, 0
+	}
+	if rate > 0.999 {
+		rate = 0.999
+	}
+	if rate <= 0 || winSec <= 0 {
+		return 0, 0
+	}
+	incidents := perHour * makespan.Hours()
+	// A request first failing inside the window retries until either
+	// the window clears or the draw succeeds; its expected stall is the
+	// failed share of the window plus the geometric ladder's mean wait,
+	// bounded by the window itself (the ladder out-lasts any window it
+	// can absorb — the PR 8 stream-layer design).
+	meanBackoff := clientBackoffBase / (1 - rate)
+	stall := math.Min(winSec, winSec*rate+meanBackoff)
+	extraSec = incidents * stall
+	// The share of the run spent inside windows retries rate/(1-rate)
+	// extra attempts per request, re-billing its class fees.
+	winShare := math.Min(1, incidents*winSec/makespan.Seconds())
+	retryFrac := winShare * rate / (1 - rate)
+	extraUSD = retryFrac * (float64(classA)*env.Prices.StorageClassA +
+		float64(classB)*env.Prices.StorageClassB)
+	return extraSec, extraUSD
+}
+
+// storeFaultPenalty prices the env's full store-failure model over a
+// plan's store legs: scheduled brownout arrivals plus the correlated
+// brownouts zone outages open. Every strategy's store-touching surface
+// pays it; substrate legs that bypass the store (the cache exchange's
+// w^2 hop) are exempt, which is exactly the asymmetry that lets the
+// planner trade substrates under brownout risk.
+func storeFaultPenalty(env Env, makespan time.Duration, classA, classB int64) (time.Duration, float64) {
+	bSec, bUSD := incidentPenalty(env, makespan, classA, classB,
+		env.BrownoutPerHour, env.BrownoutRate, env.BrownoutDuration.Seconds())
+	oSec, oUSD := incidentPenalty(env, makespan, classA, classB,
+		env.ZoneOutagePerHour, outageBrownoutRate, outageDurationSec)
+	return time.Duration((bSec + oSec) * float64(time.Second)), bUSD + oUSD
+}
+
 // functionUSD prices workers running activeSeconds each (plus
 // per-invocation fees for invocations activations).
 func functionUSD(env Env, workers int, activeSeconds float64, invocations int) float64 {
@@ -60,11 +123,12 @@ func predictObjectStorage(w int, wl Workload, env Env) Candidate {
 	classB := 2 + fw + fw*fw                                 // head + sample, input range reads, phase-2 reads
 	cost := functionUSD(env, w, activeSeconds(plan), 2*w) +
 		storageUSD(env, classA, classB, 2*wl.DataBytes, plan.Predicted)
+	faultT, faultUSD := storeFaultPenalty(env, plan.Predicted, classA, classB)
 	return Candidate{
 		Strategy: ObjectStorage,
 		Workers:  w,
-		Time:     plan.Predicted,
-		CostUSD:  cost,
+		Time:     plan.Predicted + faultT,
+		CostUSD:  cost + faultUSD,
 		Feasible: true,
 	}
 }
@@ -96,12 +160,13 @@ func predictHierarchical(w int, wl Workload, env Env) Candidate {
 	classB := 2 + fw + fw*fg + fw*k                                 // head + sample, input reads, gather rounds
 	cost := functionUSD(env, w, activeSeconds(best), 3*w) +
 		storageUSD(env, classA, classB, 2*wl.DataBytes, best.Predicted)
+	faultT, faultUSD := storeFaultPenalty(env, best.Predicted, classA, classB)
 	return Candidate{
 		Strategy: Hierarchical,
 		Workers:  w,
 		Groups:   bestG,
-		Time:     best.Predicted,
-		CostUSD:  cost,
+		Time:     best.Predicted + faultT,
+		CostUSD:  cost + faultUSD,
 		Feasible: true,
 	}
 }
@@ -110,9 +175,18 @@ func predictHierarchical(w int, wl Workload, env Env) Candidate {
 // through the object store, the w^2 partition exchange through a
 // cluster sized for the volume. The cluster bills node-hours for the
 // whole job window.
-func predictCache(w int, wl Workload, env Env) Candidate {
+//
+// multiZone spreads the cluster's nodes across the env's zones: each
+// cache request crossing a zone boundary — the (Zones-1)/Zones share —
+// pays CrossZoneRTT extra latency and CrossZoneGBUSD per GB, and in
+// exchange a zone outage kills only 1/Zones of the shards, shrinking
+// the expected demotion rework by the same factor. Single-zone
+// placements risk the whole cluster: an outage mid-job demotes the
+// exchange to the object-store path (slab regeneration plus re-run),
+// priced as an expectation like the spot model.
+func predictCache(w int, multiZone bool, wl Workload, env Env) Candidate {
 	nodes := memcache.NodesForCapacity(env.Cache, wl.DataBytes, env.CacheHeadroom)
-	c := Candidate{Strategy: CacheBacked, Workers: w, CacheNodes: nodes}
+	c := Candidate{Strategy: CacheBacked, Workers: w, CacheNodes: nodes, MultiZone: multiZone}
 	if env.CacheStandingNodes > 0 {
 		// A session-owned cluster is already running: the job must fit
 		// in it, uses its actual size, and pays no node-hours. The
@@ -149,6 +223,13 @@ func predictCache(w int, wl Workload, env Env) Candidate {
 	}
 	slat := env.Store.RequestLatency.Seconds()
 	clat := cacheProf.RequestLatency.Seconds()
+	// crossFrac is the share of cache traffic leaving its zone in a
+	// multi-zone placement (hash sharding spreads keys uniformly).
+	crossFrac := 0.0
+	if multiZone {
+		crossFrac = float64(env.Zones-1) / float64(env.Zones)
+		clat += crossFrac * env.CrossZoneRTT.Seconds()
+	}
 
 	// Phase 1: stream the input slice from the store — the ranged GET's
 	// transfer overlaps the partition CPU, with only the per-partition
@@ -192,9 +273,42 @@ func predictCache(w int, wl Workload, env Env) Candidate {
 		// the job's marginal cost excludes them.
 		nodeHoursUSD = 0
 	}
+	classA := int64(w) * outputPartRequests(int64(perWorker))
+	classB := 2 + int64(w)
 	c.CostUSD = functionUSD(env, w, p1+p2, 2*w) +
 		nodeHoursUSD +
-		storageUSD(env, int64(w)*outputPartRequests(int64(perWorker)), 2+int64(w), 2*wl.DataBytes, c.Time)
+		storageUSD(env, classA, classB, 2*wl.DataBytes, c.Time)
+	// Cross-zone replication fee: both directions of the exchange cross
+	// zones for the crossFrac share of the volume.
+	c.CostUSD += 2 * d * crossFrac / float64(1<<30) * env.CrossZoneGBUSD
+
+	// Zone-outage exposure: with probability qz over the job window the
+	// cluster's zone fails mid-job. The exchange survives by demoting
+	// to the object-store path — regeneration re-reads the hit share of
+	// the input and the pending reducers re-run through fallback slabs
+	// — so the expected penalty is that share of an object-store
+	// exchange, halved for the average fault position. Multi-zone
+	// placements lose only 1/Zones of the shards per outage.
+	if env.ZoneOutagePerHour > 0 {
+		demote := shuffle.Predict(w, wl.planInput(0), env.Store)
+		qz := 1 - math.Exp(-env.ZoneOutagePerHour*c.Time.Hours())
+		frac := 0.5
+		if multiZone {
+			frac = 0.5 / float64(env.Zones)
+		}
+		fw64 := int64(w)
+		reworkA := fw64*fw64 + fw64*outputPartRequests(int64(perWorker))
+		reworkB := fw64 + fw64*fw64
+		c.Time += time.Duration(qz * frac * demote.Predicted.Seconds() * float64(time.Second))
+		c.CostUSD += qz * frac * (functionUSD(env, w, activeSeconds(demote), w) +
+			storageUSD(env, reworkA, reworkB, 0, 0))
+	}
+
+	// The store legs (input read, sampled boundaries, streamed output)
+	// still pay the brownout model; the w^2 cache hop is exempt.
+	faultT, faultUSD := storeFaultPenalty(env, c.Time, classA, classB)
+	c.Time += faultT
+	c.CostUSD += faultUSD
 	c.Feasible = true
 	return c
 }
@@ -243,8 +357,10 @@ func predictVM(it vm.InstanceType, spot bool, wl Workload, env Env) Candidate {
 
 	if spot {
 		// Preemption probability over the run's exposure window,
-		// Poisson at InterruptRate per hour.
-		q := 1 - math.Exp(-it.InterruptRate*total/3600)
+		// Poisson at InterruptRate per hour. Zone outages reclaim spot
+		// capacity too, so their arrival rate adds to the market's.
+		ir := it.InterruptRate + env.ZoneOutagePerHour
+		q := 1 - math.Exp(-ir*total/3600)
 		// E[time]: the fault-free run, plus — with probability q — half
 		// the work wasted before the reclaim, a fresh boot+setup, and
 		// the full leg redone (staged bytes die with the instance).
@@ -259,6 +375,9 @@ func predictVM(it vm.InstanceType, spot bool, wl Workload, env Env) Candidate {
 			float64(it.MemoryGB)*env.Prices.StorageGBMonth*(expTime/3600)/(30*24)
 		c.CostUSD = instUSD +
 			storageUSD(env, int64(wl.OutputParts), int64(conns)+1, 2*wl.DataBytes, c.Time)
+		faultT, faultUSD := storeFaultPenalty(env, c.Time, int64(wl.OutputParts), int64(conns)+1)
+		c.Time += faultT
+		c.CostUSD += faultUSD
 		c.Feasible = true
 		return c
 	}
@@ -274,6 +393,9 @@ func predictVM(it vm.InstanceType, spot bool, wl Workload, env Env) Candidate {
 	}
 	c.CostUSD = instUSD +
 		storageUSD(env, int64(wl.OutputParts), int64(conns)+1, 2*wl.DataBytes, c.Time)
+	faultT, faultUSD := storeFaultPenalty(env, c.Time, int64(wl.OutputParts), int64(conns)+1)
+	c.Time += faultT
+	c.CostUSD += faultUSD
 	c.Feasible = true
 	return c
 }

@@ -63,6 +63,21 @@ type Profile struct {
 	EncodeRatio float64
 	// Prices is the billing book.
 	Prices billing.PriceBook
+	// Zones are the placement domains the rig's provisioners spread
+	// across (nil: one default zone). The first zone hosts everything —
+	// including the object store's bandwidth pool — until an outage
+	// forces placement elsewhere, so a ZoneOutage of Zones[0] is the
+	// correlated whole-domain failure.
+	Zones []string
+	// BrownoutPerHour / BrownoutRate / BrownoutDuration describe the
+	// store-brownout arrival process the failure-aware planner prices
+	// (zero: planner assumes a healthy store).
+	BrownoutPerHour  float64
+	BrownoutRate     float64
+	BrownoutDuration time.Duration
+	// ZoneOutagePerHour is the modeled whole-zone outage arrival rate
+	// the planner prices rework and placement against.
+	ZoneOutagePerHour float64
 }
 
 // Paper returns the profile calibrated against the paper's Table 1

@@ -72,6 +72,13 @@ func NewRig(p Profile) (*Rig, error) {
 	} else {
 		prov = vm.NewProvisioner(sim)
 	}
+	if len(p.Zones) > 0 {
+		prov.SetZones(p.Zones...)
+		cacheProv.SetZones(p.Zones...)
+		// The store's bandwidth pool lives with the primary zone: its
+		// outage browns the endpoint out, a correlated loss.
+		store.SetZone(p.Zones[0])
+	}
 	exec := core.NewExecutor(sim, store, platform, prov, op, p.Prices)
 	exec.CacheProv = cacheProv
 	exec.CacheShuffle = cacheOp
@@ -156,11 +163,15 @@ func (r *Rig) CacheStrategy(warm bool) *core.CacheExchange {
 // minimizes predicted completion time.
 func (r *Rig) AutoStrategy(obj autoplan.Objective) *core.AutoExchange {
 	return &core.AutoExchange{
-		Objective:     obj,
-		VM:            *r.VMStrategy(),
-		Cache:         *r.CacheStrategy(false),
-		CacheMaxNodes: r.Profile.CacheMaxNodes,
-		History:       r.History,
+		Objective:         obj,
+		VM:                *r.VMStrategy(),
+		Cache:             *r.CacheStrategy(false),
+		CacheMaxNodes:     r.Profile.CacheMaxNodes,
+		History:           r.History,
+		BrownoutPerHour:   r.Profile.BrownoutPerHour,
+		BrownoutRate:      r.Profile.BrownoutRate,
+		BrownoutDuration:  r.Profile.BrownoutDuration,
+		ZoneOutagePerHour: r.Profile.ZoneOutagePerHour,
 	}
 }
 
@@ -201,5 +212,11 @@ func PlanEnv(p Profile) autoplan.Env {
 		FaasFailureRate:       p.Faas.FailureRate,
 		FaasStragglerRate:     p.Faas.StragglerRate,
 		FaasStragglerSlowdown: p.Faas.StragglerSlowdown,
+
+		BrownoutPerHour:   p.BrownoutPerHour,
+		BrownoutRate:      p.BrownoutRate,
+		BrownoutDuration:  p.BrownoutDuration,
+		ZoneOutagePerHour: p.ZoneOutagePerHour,
+		Zones:             len(p.Zones),
 	}
 }

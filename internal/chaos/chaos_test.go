@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -36,7 +37,10 @@ func TestArmFiresAllKinds(t *testing.T) {
 		{At: 3 * time.Minute, Kind: KillCacheNode, Node: 1},
 		{At: 4 * time.Minute, Kind: StoreBrownout, Rate: 0.5, Duration: 10 * time.Second},
 	}}
-	armed := plan.Arm(sim, tg)
+	armed, err := plan.Arm(sim, tg)
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
 
 	var inst *vm.Instance
 	var cl *memcache.Cluster
@@ -105,11 +109,18 @@ func TestFireNoOps(t *testing.T) {
 	none := &Plan{Events: []Event{
 		{At: time.Second, Kind: PreemptVM},
 		{At: time.Second, Kind: KillCacheNode},
-		{At: time.Second, Kind: StoreBrownout},
+		{At: time.Second, Kind: StoreBrownout, Rate: 0.5, Duration: time.Second},
+		{At: time.Second, Kind: ZoneOutage, Zone: "zone-a", Duration: time.Second},
 		{At: time.Second, Kind: Kind(99)},
 	}}
-	armed := plan.Arm(sim, tg)
-	unarmed := none.Arm(sim, Targets{})
+	armed, err := plan.Arm(sim, tg)
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	unarmed, err := none.Arm(sim, Targets{})
+	if err != nil {
+		t.Fatalf("Arm(no targets): %v", err)
+	}
 	if err := sim.Run(); err != nil {
 		t.Fatalf("sim: %v", err)
 	}
@@ -155,10 +166,180 @@ func TestPickVictimPrefersSpot(t *testing.T) {
 
 func TestKindStrings(t *testing.T) {
 	if PreemptVM.String() != "preempt-vm" || KillCacheNode.String() != "kill-cache-node" ||
-		StoreBrownout.String() != "store-brownout" {
+		StoreBrownout.String() != "store-brownout" || ZoneOutage.String() != "zone-outage" {
 		t.Error("kind names wrong")
 	}
 	if !strings.Contains(Kind(42).String(), "42") {
 		t.Error("unknown kind not numbered")
+	}
+}
+
+// TestOverlappingBrownouts is the regression test for the restore
+// race: a first window's timer used to set the rate back to 0 even
+// while a second, longer window was still open. The generation guard
+// must keep the second window's rate live until its own timer fires.
+func TestOverlappingBrownouts(t *testing.T) {
+	sim := des.New(1)
+	tg := testTargets(t, sim)
+	plan := &Plan{Events: []Event{
+		{At: 1 * time.Second, Kind: StoreBrownout, Rate: 0.3, Duration: 10 * time.Second},
+		{At: 5 * time.Second, Kind: StoreBrownout, Rate: 0.7, Duration: 20 * time.Second},
+	}}
+	if _, err := plan.Arm(sim, tg); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	sim.Spawn("probe", func(p *des.Proc) {
+		p.Sleep(12 * time.Second) // first window's restore timer has fired
+		if got := tg.Store.Brownout(); got != 0.7 {
+			t.Errorf("brownout = %g after first window expired, want 0.7 (second window still open)", got)
+		}
+		p.Sleep(15 * time.Second) // past the second window's close at t=25s
+		if got := tg.Store.Brownout(); got != 0 {
+			t.Errorf("brownout = %g after both windows, want 0", got)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+// TestValidate: structurally bad events are rejected at arm time with
+// typed errors naming the offending event, instead of being silently
+// clamped or defaulted at fire time.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+		want error
+	}{
+		{"negative time", Event{At: -time.Second, Kind: PreemptVM}, ErrNegativeTime},
+		{"rate above one", Event{At: 0, Kind: StoreBrownout, Rate: 1.5, Duration: time.Second}, ErrBadRate},
+		{"negative rate", Event{At: 0, Kind: StoreBrownout, Rate: -0.1, Duration: time.Second}, ErrBadRate},
+		{"no duration", Event{At: 0, Kind: StoreBrownout, Rate: 0.5}, ErrBadDuration},
+		{"negative node", Event{At: 0, Kind: KillCacheNode, Node: -1}, ErrBadNode},
+		{"no zone", Event{At: 0, Kind: ZoneOutage, Duration: time.Second}, ErrBadZone},
+		{"outage no duration", Event{At: 0, Kind: ZoneOutage, Zone: "zone-a"}, ErrBadDuration},
+	}
+	for _, tc := range cases {
+		plan := &Plan{Events: []Event{{At: 0, Kind: PreemptVM}, tc.ev}}
+		err := plan.Validate()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: Validate = %v, want %v", tc.name, err, tc.want)
+			continue
+		}
+		var evErr *EventError
+		if !errors.As(err, &evErr) || evErr.Index != 1 {
+			t.Errorf("%s: error does not name event 1: %v", tc.name, err)
+		}
+		sim := des.New(1)
+		if _, armErr := plan.Arm(sim, Targets{}); !errors.Is(armErr, tc.want) {
+			t.Errorf("%s: Arm = %v, want validation failure %v", tc.name, armErr, tc.want)
+		}
+	}
+	good := &Plan{Events: []Event{
+		{At: 0, Kind: PreemptVM},
+		{At: time.Second, Kind: KillCacheNode, Node: 3},
+		{At: 2 * time.Second, Kind: StoreBrownout, Rate: 1.0, Duration: time.Second},
+		{At: 3 * time.Second, Kind: ZoneOutage, Zone: "zone-b", Rate: 0.25, Duration: time.Minute},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+// TestZoneOutageFires: an outage atomically reclaims the zone's spot
+// capacity, kills the cache cluster hosted there, opens the correlated
+// brownout, and everything placed afterwards lands in a surviving
+// zone; the failed zone reopens when the window closes.
+func TestZoneOutageFires(t *testing.T) {
+	sim := des.New(1)
+	tg := testTargets(t, sim)
+	tg.VMs.SetZones("zone-a", "zone-b")
+	tg.Cache.SetZones("zone-a", "zone-b")
+	tg.Store.SetZone("zone-a")
+	plan := &Plan{Events: []Event{
+		{At: 5 * time.Minute, Kind: ZoneOutage, Zone: "zone-a", Rate: 0.4, Duration: 2 * time.Minute},
+	}}
+	armed, err := plan.Arm(sim, tg)
+	if err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	sim.Spawn("driver", func(p *des.Proc) {
+		spot, err := tg.VMs.ProvisionSpot(p, "bx2-2x8")
+		if err != nil {
+			t.Errorf("ProvisionSpot: %v", err)
+			return
+		}
+		onDemand, err := tg.VMs.Provision(p, "bx2-2x8")
+		if err != nil {
+			t.Errorf("Provision: %v", err)
+			return
+		}
+		cl, err := tg.Cache.ProvisionWarm(p, 3)
+		if err != nil {
+			t.Errorf("ProvisionWarm: %v", err)
+			return
+		}
+		if spot.Zone() != "zone-a" || cl.Zone() != "zone-a" {
+			t.Errorf("placement: spot in %q, cluster in %q, want zone-a", spot.Zone(), cl.Zone())
+		}
+		until := func(at time.Duration) {
+			if d := at - p.Now(); d > 0 {
+				p.Sleep(d)
+			}
+		}
+		until(5*time.Minute + time.Second) // inside the outage
+		if !spot.Preempted() {
+			t.Error("spot instance not reclaimed by the zone outage")
+		}
+		if onDemand.Stopped() {
+			t.Error("on-demand instance should ride out the outage")
+		}
+		if !cl.Dead() {
+			t.Errorf("cache cluster not fully dead: %d/%d nodes down", cl.DownNodes(), cl.Nodes())
+		}
+		if got := tg.Store.Brownout(); got != 0.4 {
+			t.Errorf("correlated brownout = %g, want 0.4", got)
+		}
+		// Re-provisioning mid-outage must land in the surviving zone.
+		spot2, err := tg.VMs.Provision(p, "bx2-2x8")
+		if err != nil {
+			t.Errorf("re-provision during outage: %v", err)
+			return
+		}
+		if spot2.Zone() != "zone-b" {
+			t.Errorf("replacement landed in %q, want zone-b", spot2.Zone())
+		}
+		cl2, err := tg.Cache.ProvisionWarm(p, 2)
+		if err != nil {
+			t.Errorf("cache re-provision during outage: %v", err)
+			return
+		}
+		if cl2.Zone() != "zone-b" {
+			t.Errorf("replacement cluster landed in %q, want zone-b", cl2.Zone())
+		}
+		until(7*time.Minute + 2*time.Second) // past the window
+		if tg.Store.Brownout() != 0 {
+			t.Errorf("brownout = %g after the outage window, want 0", tg.Store.Brownout())
+		}
+		if tg.VMs.ZoneDown("zone-a") || tg.Cache.ZoneDown("zone-a") {
+			t.Error("zone-a still marked down after the window")
+		}
+		spot2.Stop()
+		onDemand.Stop()
+		cl.Stop()
+		cl2.Stop()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	fired := armed.Fired()
+	if len(fired) != 1 {
+		t.Fatalf("fired %d events, want 1:\n%s", len(fired), armed)
+	}
+	for _, want := range []string{"zone zone-a out", "reclaimed 1 spot", "killed 1 cache cluster", "store brownout rate=0.40"} {
+		if !strings.Contains(fired[0].Outcome, want) {
+			t.Errorf("outcome %q missing %q", fired[0].Outcome, want)
+		}
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/faaspipe/faaspipe/internal/autoplan"
 	"github.com/faaspipe/faaspipe/internal/objectstore"
@@ -62,6 +63,15 @@ type AutoExchange struct {
 	// CacheMaxNodes caps the cluster the planner may provision
 	// (0: no quota).
 	CacheMaxNodes int
+	// BrownoutPerHour / BrownoutRate / BrownoutDuration and
+	// ZoneOutagePerHour are failure-model priors the planner prices
+	// (zero: plan for a healthy cloud). They are beliefs about the
+	// environment, not live measurements, so they ride on the strategy;
+	// the zone count itself comes from the executor's provisioner.
+	BrownoutPerHour   float64
+	BrownoutRate      float64
+	BrownoutDuration  time.Duration
+	ZoneOutagePerHour float64
 	// History, when set, calibrates predictions with measured outcomes
 	// and receives this stage's predicted-vs-actual observation after
 	// each run. When nil, the executor's History (shared by a session
@@ -91,6 +101,11 @@ func (a *AutoExchange) planEnv(exec *Executor) autoplan.Env {
 		FaasFailureRate:       pcfg.FailureRate,
 		FaasStragglerRate:     pcfg.StragglerRate,
 		FaasStragglerSlowdown: pcfg.StragglerSlowdown,
+
+		BrownoutPerHour:   a.BrownoutPerHour,
+		BrownoutRate:      a.BrownoutRate,
+		BrownoutDuration:  a.BrownoutDuration,
+		ZoneOutagePerHour: a.ZoneOutagePerHour,
 	}
 	if exec.CacheShuffle != nil && exec.CacheProv != nil {
 		env.HasCache = true
@@ -103,6 +118,7 @@ func (a *AutoExchange) planEnv(exec *Executor) autoplan.Env {
 		}
 	}
 	if exec.Provisioner != nil {
+		env.Zones = len(exec.Provisioner.Zones())
 		env.VMTypes = exec.Provisioner.Types()
 		env.VMInstanceType = a.VM.InstanceType
 		env.VMSetup = a.VM.Setup

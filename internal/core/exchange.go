@@ -247,7 +247,11 @@ const vmMaxAttempts = 3
 // RunSort implements ExchangeStrategy. A preempted attempt restarts
 // the lost leg on a fresh instance — on-demand from the first retry —
 // with the rework metered in the outcome. Output parts already durable
-// in object storage are not re-written (keys are deterministic).
+// in object storage are not re-written (keys are deterministic). The
+// same loop survives a whole-zone outage: the reclaimed instance
+// surfaces as a preemption, and the provisioner places the replacement
+// in the first surviving zone, so the retry re-stages in healthy
+// capacity with the rework metered identically.
 func (v *VMExchange) RunSort(ctx *StageContext, params SortParams) (SortOutcome, error) {
 	if ctx.Exec.Provisioner == nil {
 		return SortOutcome{}, errors.New("core: executor has no VM provisioner")

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/faaspipe/faaspipe/internal/calib"
+)
+
+func zoneCell(t *testing.T, res ZoneChaosResult, kind StrategyKind, fault ZoneFault) ZoneChaosCell {
+	t.Helper()
+	c, ok := res.Cell(kind, fault)
+	if !ok {
+		t.Fatalf("no cell %v/%v", kind, fault)
+	}
+	return c
+}
+
+// TestZoneChaos is the zone-level graceful-degradation contract: every
+// cell of the strategy x {outage, soak} matrix completes, the outage
+// actually bites the strategies whose substrate it hosts, recovery
+// stays within bounds, and no cell's money leaks.
+func TestZoneChaos(t *testing.T) {
+	res, err := ZoneChaos(calib.Paper(), chaosTestBytes, 8, 7)
+	if err != nil {
+		t.Fatalf("ZoneChaos: %v", err)
+	}
+	if want := len(chaosStrategies) * len(zoneFaults); len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	for _, c := range res.Rows {
+		if !c.Completed {
+			t.Errorf("cell %v/%v did not complete: %s", c.Kind, c.Fault, c.Err)
+		}
+		if math.Abs(c.RunUSD-c.SessionUSD) > 1e-9 {
+			t.Errorf("cell %v/%v: run attribution $%.12f != session bill $%.12f",
+				c.Kind, c.Fault, c.RunUSD, c.SessionUSD)
+		}
+	}
+
+	// The spot VM loses its zone-a instance and re-provisions in the
+	// survivor, with the redone leg metered.
+	vmCell := zoneCell(t, res, VMSupported, ZoneOutageFault)
+	if vmCell.Restarts == 0 || vmCell.ReworkBytes == 0 {
+		t.Errorf("vm/zone-outage shows no metered recovery:\n%s", res)
+	}
+
+	// The cache cluster dies whole — total loss, not one node — and the
+	// run demotes to the object-store path within the overhead bound.
+	cacheCell := zoneCell(t, res, CacheSupported, ZoneOutageFault)
+	if cacheCell.FallbackSlabs == 0 {
+		t.Errorf("cache/zone-outage shows no fallback slabs:\n%s", res)
+	}
+	if cacheCell.Slowdown > 2.0 {
+		t.Errorf("cache/zone-outage slowdown %.2fx exceeds 2.0x:\n%s", cacheCell.Slowdown, res)
+	}
+
+	// Soak cells must actually see events, and the high soak at least
+	// as many as the low (same seed, scaled rates).
+	for _, kind := range chaosStrategies {
+		low := zoneCell(t, res, kind, PoissonSoakLow)
+		high := zoneCell(t, res, kind, PoissonSoakHigh)
+		if low.Events == 0 {
+			t.Errorf("%v/soak-low fired no events", kind)
+		}
+		if high.Events < low.Events {
+			t.Errorf("%v: high soak fired fewer events (%d) than low (%d)", kind, high.Events, low.Events)
+		}
+	}
+
+	// Baselines are clean runs, and the same-seed replay reproduced its
+	// fired log byte for byte.
+	for _, kind := range chaosStrategies {
+		base := zoneCell(t, res, kind, ZoneNoFault)
+		if base.Restarts != 0 || base.ReworkBytes != 0 || base.FallbackSlabs != 0 || base.Events != 0 {
+			t.Errorf("baseline %v shows fault activity: %+v", kind, base)
+		}
+	}
+	if !res.Reproducible {
+		t.Errorf("same-seed soak replay diverged:\n%s", res)
+	}
+}
+
+// TestZoneChaosSeeds: the matrix completes, keeps its attribution
+// identity, and stays reproducible under different seeds (the CI gate
+// runs these under -race).
+func TestZoneChaosSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 42, 20211206} {
+		profile := calib.Paper()
+		profile.Seed = seed
+		res, err := ZoneChaos(profile, 500e6, 8, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, c := range res.Rows {
+			if !c.Completed {
+				t.Errorf("seed %d: cell %v/%v did not complete: %s", seed, c.Kind, c.Fault, c.Err)
+			}
+			if math.Abs(c.RunUSD-c.SessionUSD) > 1e-9 {
+				t.Errorf("seed %d: cell %v/%v attribution drift", seed, c.Kind, c.Fault)
+			}
+		}
+		if !res.Reproducible {
+			t.Errorf("seed %d: same-seed soak replay diverged", seed)
+		}
+	}
+}
+
+// TestZonePlacementFlip: single-zone cache placement wins while
+// outages are rare, multi-zone past the flip point.
+func TestZonePlacementFlip(t *testing.T) {
+	res, err := ZonePlacementFlip(calib.Paper(), 0, nil)
+	if err != nil {
+		t.Fatalf("ZonePlacementFlip: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if res.Rows[0].Chosen != "single-zone" {
+		t.Errorf("at rate %.2f/h chose %s, want single-zone:\n%s",
+			res.Rows[0].OutagePerHour, res.Rows[0].Chosen, res)
+	}
+	if last := res.Rows[len(res.Rows)-1]; last.Chosen != "multi-zone" {
+		t.Errorf("at rate %.2f/h chose %s, want multi-zone:\n%s",
+			last.OutagePerHour, last.Chosen, res)
+	}
+	var flipped bool
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i-1].Chosen == "single-zone" && res.Rows[i].Chosen == "multi-zone" {
+			flipped = true
+		}
+		if res.Rows[i].SingleTime < res.Rows[i-1].SingleTime {
+			t.Errorf("single-zone expected time fell as outages rose at %.2f/h", res.Rows[i].OutagePerHour)
+		}
+	}
+	if !flipped {
+		t.Errorf("no single -> multi flip in sweep:\n%s", res)
+	}
+}
+
+func TestZoneChaosRenderings(t *testing.T) {
+	res, err := ZoneChaos(calib.Paper(), 500e6, 4, 11)
+	if err != nil {
+		t.Fatalf("ZoneChaos: %v", err)
+	}
+	out := res.String()
+	for _, want := range []string{"zone-outage", "soak-low", "soak-high", "slowdown", "byte-identical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix rendering missing %q:\n%s", want, out)
+		}
+	}
+	flip, err := ZonePlacementFlip(calib.Paper(), 0, []float64{0.05, 120})
+	if err != nil {
+		t.Fatalf("ZonePlacementFlip: %v", err)
+	}
+	fout := flip.String()
+	for _, want := range []string{"outages/h", "chosen", "single"} {
+		if !strings.Contains(fout, want) {
+			t.Errorf("flip rendering missing %q:\n%s", want, fout)
+		}
+	}
+	if ZoneNoFault.String() != "none" || ZoneFault(9).String() != "ZoneFault(9)" {
+		t.Error("ZoneFault strings wrong")
+	}
+}

@@ -90,12 +90,18 @@ func (c Config) validate() error {
 	return nil
 }
 
+// DefaultZone is the placement domain used when a provisioner has not
+// been configured with an explicit zone list.
+const DefaultZone = "zone-a"
+
 // Provisioner creates cache clusters on a simulation.
 type Provisioner struct {
 	sim *des.Sim
 	cfg Config
 
-	clusters []*Cluster
+	zones     []string
+	downZones map[string]bool
+	clusters  []*Cluster
 }
 
 // NewProvisioner returns a provisioner with the given node profile.
@@ -106,8 +112,66 @@ func NewProvisioner(sim *des.Sim, cfg Config) (*Provisioner, error) {
 	if cfg.OpsBurst < 1 {
 		cfg.OpsBurst = 1
 	}
-	return &Provisioner{sim: sim, cfg: cfg}, nil
+	return &Provisioner{sim: sim, cfg: cfg, zones: []string{DefaultZone}, downZones: map[string]bool{}}, nil
 }
+
+// SetZones configures the placement domains new clusters land in. The
+// first zone still up always wins, keeping placement deterministic.
+func (pr *Provisioner) SetZones(zones ...string) {
+	if len(zones) == 0 {
+		zones = []string{DefaultZone}
+	}
+	pr.zones = append([]string(nil), zones...)
+}
+
+// Zones returns the configured placement domains.
+func (pr *Provisioner) Zones() []string {
+	return append([]string(nil), pr.zones...)
+}
+
+// ZoneDown reports whether a zone is currently failed.
+func (pr *Provisioner) ZoneDown(zone string) bool { return pr.downZones[zone] }
+
+// pickZone returns the first zone still up, or "" when every zone is
+// failed.
+func (pr *Provisioner) pickZone() (string, bool) {
+	for _, z := range pr.zones {
+		if !pr.downZones[z] {
+			return z, true
+		}
+	}
+	return "", false
+}
+
+// FailZone takes a whole placement domain down: every node of every
+// running cluster hosted in the zone is killed (total cluster loss —
+// the memory is gone with the hosts), and new clusters avoid the zone
+// until RestoreZone. Clusters keep billing, like KillNode: the managed
+// service bills while it rebuilds. Returns the number of clusters hit.
+func (pr *Provisioner) FailZone(zone string) int {
+	pr.downZones[zone] = true
+	hit := 0
+	for _, c := range pr.clusters {
+		if c.zone != zone || c.Stopped() {
+			continue
+		}
+		lost := false
+		for i := range c.nodes {
+			if !c.nodes[i].down {
+				c.KillNode(i)
+				lost = true
+			}
+		}
+		if lost {
+			hit++
+		}
+	}
+	return hit
+}
+
+// RestoreZone reopens a failed zone for provisioning. Data lost in the
+// outage stays lost.
+func (pr *Provisioner) RestoreZone(zone string) { delete(pr.downZones, zone) }
 
 // Config returns the node profile.
 func (pr *Provisioner) Config() Config { return pr.cfg }
@@ -133,9 +197,19 @@ func (pr *Provisioner) provision(p *des.Proc, n int, spinUp time.Duration) (*Clu
 	}
 	requested := pr.sim.Now()
 	p.Sleep(spinUp)
+	// Place after the spin-up wait so the cluster lands in a zone that
+	// is still up at readiness. When every zone is down the cluster
+	// still provisions, tagged with the first zone — it will be killed
+	// by the ongoing outage's FailZone only if that fires again, so
+	// callers racing an outage should check ZoneDown first.
+	zone, ok := pr.pickZone()
+	if !ok {
+		zone = pr.zones[0]
+	}
 	c := &Cluster{
 		sim:       pr.sim,
 		cfg:       pr.cfg,
+		zone:      zone,
 		requested: requested,
 		nodes:     make([]*node, n),
 	}
@@ -180,6 +254,7 @@ type node struct {
 type Cluster struct {
 	sim       *des.Sim
 	cfg       Config
+	zone      string
 	nodes     []*node
 	requested time.Duration
 	stoppedAt time.Duration
@@ -189,6 +264,21 @@ type Cluster struct {
 
 // Nodes reports the cluster size.
 func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Zone reports the placement domain the cluster was provisioned in.
+func (c *Cluster) Zone() string { return c.zone }
+
+// Dead reports whether every node is down: the whole cluster's data is
+// gone and no request can succeed. Callers use it to demote to a
+// different substrate instead of burning a failed request per key.
+func (c *Cluster) Dead() bool {
+	for _, n := range c.nodes {
+		if !n.down {
+			return false
+		}
+	}
+	return len(c.nodes) > 0
+}
 
 // Metrics returns a snapshot of the accumulated counters.
 func (c *Cluster) Metrics() Metrics { return c.metrics }

@@ -111,8 +111,15 @@ type Service struct {
 	lastAccrue time.Duration
 
 	// brownout is a transient elevated failure rate layered over
-	// cfg.FailureRate (see SetBrownout); 0 when healthy.
-	brownout float64
+	// cfg.FailureRate (see SetBrownout); 0 when healthy. brownoutGen
+	// counts SetBrownout calls so a scheduled restore can tell whether
+	// a newer window opened since it was armed.
+	brownout    float64
+	brownoutGen uint64
+
+	// zone labels the service's bandwidth pool's home placement domain
+	// — the zone whose outage browns out this endpoint.
+	zone string
 }
 
 // New builds a Service on sim with the given profile.
@@ -419,10 +426,24 @@ func (s *Service) SetBrownout(rate float64) {
 		rate = 0.999
 	}
 	s.brownout = rate
+	s.brownoutGen++
 }
 
 // Brownout reports the current transient failure rate.
 func (s *Service) Brownout() float64 { return s.brownout }
+
+// BrownoutGen reports how many times SetBrownout has been called.
+// A scheduled restore captures the generation at window open and only
+// clears the rate if no newer call has happened since — the guard that
+// keeps overlapping windows from restoring each other.
+func (s *Service) BrownoutGen() uint64 { return s.brownoutGen }
+
+// SetZone labels the service's bandwidth pool with its home placement
+// domain (defaults to empty: zone-agnostic).
+func (s *Service) SetZone(zone string) { s.zone = zone }
+
+// Zone reports the service's home placement domain.
+func (s *Service) Zone() string { return s.zone }
 
 func (s *Service) failMaybe(p *des.Proc) error {
 	rate := s.cfg.FailureRate

@@ -132,11 +132,14 @@ func Open(profile calib.Profile, opts Options) (*Session, error) {
 	}
 	s := &Session{rig: rig, opts: opts}
 	if opts.Chaos != nil {
-		s.armed = opts.Chaos.Arm(rig.Sim, chaos.Targets{
+		s.armed, err = opts.Chaos.Arm(rig.Sim, chaos.Targets{
 			VMs:   rig.Prov,
 			Cache: rig.CacheProv,
 			Store: rig.Store,
 		})
+		if err != nil {
+			return nil, fmt.Errorf("session: chaos plan: %w", err)
+		}
 	}
 	if opts.WarmCacheNodes > 0 || opts.StandingVMType != "" {
 		s.standingStart = rig.Sim.Now()

@@ -469,10 +469,12 @@ func fallbackKey(jobID string, m, r int) string {
 }
 
 // setSlab stores one reducer slab, degrading to the object-storage
-// fallback when the shard node is down. It reports whether the slab
-// went to the store.
+// fallback when the shard node is down. A fully dead cluster (zone
+// outage) demotes outright: the cache attempt is skipped, so the job
+// runs the rest of the exchange on the object-store path. It reports
+// whether the slab went to the store.
 func (t *cacheMapTask) setSlab(ctx *faas.Ctx, r int, pl payload.Payload) (bool, error) {
-	if !t.ForceStore {
+	if !t.ForceStore && !t.Cache.Dead() {
 		err := t.Cache.Set(ctx.Proc, partKey(t.JobID, t.MapIndex, r), pl)
 		if err == nil {
 			return false, nil
@@ -528,14 +530,21 @@ var errSlabLost = errors.New("shuffle: cache slab lost")
 
 // fetchRun retrieves mapper m's slab for this reducer, falling back to
 // the object-storage copy when the shard node is down (or the key is
-// gone with a replaced node).
+// gone with a replaced node). A fully dead cluster skips the cache
+// attempt — the demoted job reads everything from the store.
 func (t *cacheReduceTask) fetchRun(p *des.Proc, store *objectstore.Client, m int) (payload.Payload, error) {
-	pl, err := t.Cache.Get(p, partKey(t.JobID, m, t.ReduceIndex))
-	if err == nil {
-		return pl, nil
-	}
-	if !errors.Is(err, memcache.ErrNodeDown) && !memcache.IsNotFound(err) {
-		return nil, err
+	var err error
+	if t.Cache.Dead() {
+		err = memcache.ErrNodeDown
+	} else {
+		var pl payload.Payload
+		pl, err = t.Cache.Get(p, partKey(t.JobID, m, t.ReduceIndex))
+		if err == nil {
+			return pl, nil
+		}
+		if !errors.Is(err, memcache.ErrNodeDown) && !memcache.IsNotFound(err) {
+			return nil, err
+		}
 	}
 	if t.FallbackBucket == "" {
 		return nil, err
@@ -661,7 +670,7 @@ func cacheReduceHandler(ctx *faas.Ctx, input any) (any, error) {
 		keys[m] = partKey(task.JobID, m, task.ReduceIndex)
 	}
 	var parts []payload.Payload
-	batched := task.Batched
+	batched := task.Batched && !task.Cache.Dead()
 	if batched {
 		var err error
 		parts, err = task.Cache.MGet(ctx.Proc, keys)

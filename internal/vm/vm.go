@@ -30,7 +30,14 @@ var (
 	// ErrNoSpotPrice is returned when ProvisionSpot is asked for a type
 	// with no spot market.
 	ErrNoSpotPrice = errors.New("vm: instance type has no spot price")
+	// ErrNoZone is returned when every configured zone is down and no
+	// capacity pool can host a new instance.
+	ErrNoZone = errors.New("vm: no zone has available capacity")
 )
+
+// DefaultZone is the single placement domain used when a provisioner
+// has not been configured with an explicit zone list.
+const DefaultZone = "zone-a"
 
 // PreemptionNotice is the warning window between a preemption signal
 // and the instance being reclaimed, mirroring the ~30 s notice real
@@ -83,6 +90,8 @@ type Provisioner struct {
 	// (default 0: exact boot times).
 	BootJitterFrac float64
 
+	zones     []string
+	downZones map[string]bool
 	instances []*Instance
 }
 
@@ -98,8 +107,60 @@ func NewProvisionerWithCatalog(sim *des.Sim, types []InstanceType) *Provisioner 
 	for _, it := range types {
 		cat[it.Name] = it
 	}
-	return &Provisioner{sim: sim, catalog: cat}
+	return &Provisioner{sim: sim, catalog: cat, zones: []string{DefaultZone}, downZones: map[string]bool{}}
 }
+
+// SetZones configures the placement domains new instances land in.
+// Provisioning always picks the first zone not currently failed, so
+// placement stays deterministic: everything lands in zones[0] until an
+// outage forces it elsewhere.
+func (pr *Provisioner) SetZones(zones ...string) {
+	if len(zones) == 0 {
+		zones = []string{DefaultZone}
+	}
+	pr.zones = append([]string(nil), zones...)
+}
+
+// Zones returns the configured placement domains.
+func (pr *Provisioner) Zones() []string {
+	return append([]string(nil), pr.zones...)
+}
+
+// ZoneDown reports whether a zone is currently failed.
+func (pr *Provisioner) ZoneDown(zone string) bool { return pr.downZones[zone] }
+
+// pickZone returns the first zone still up, or ErrNoZone.
+func (pr *Provisioner) pickZone() (string, error) {
+	for _, z := range pr.zones {
+		if !pr.downZones[z] {
+			return z, nil
+		}
+	}
+	return "", ErrNoZone
+}
+
+// FailZone takes a whole capacity pool down: every running spot
+// instance placed in the zone is reclaimed immediately (a zone outage
+// gives no notice window), and new provisioning avoids the zone until
+// RestoreZone. On-demand instances ride out the outage: the model
+// follows real spot markets, where interruptible capacity is the first
+// thing a constrained pool sheds. Returns the number of instances
+// reclaimed.
+func (pr *Provisioner) FailZone(zone string) int {
+	pr.downZones[zone] = true
+	n := 0
+	for _, inst := range pr.instances {
+		if inst.zone == zone && inst.spot && !inst.Stopped() {
+			inst.Reclaim()
+			n++
+		}
+	}
+	return n
+}
+
+// RestoreZone reopens a failed zone for provisioning. Instances
+// reclaimed by the outage stay gone.
+func (pr *Provisioner) RestoreZone(zone string) { delete(pr.downZones, zone) }
 
 // Types returns the provisioner's catalog, sorted by memory then name
 // so enumeration (the auto-planner sweeps it) is deterministic.
@@ -148,15 +209,26 @@ func (pr *Provisioner) provision(p *des.Proc, typeName string, spot bool) (*Inst
 	if spot && it.SpotHourlyUSD <= 0 {
 		return nil, fmt.Errorf("%w: %s", ErrNoSpotPrice, typeName)
 	}
+	if _, err := pr.pickZone(); err != nil {
+		return nil, err
+	}
 	boot := it.BootTime
 	if pr.BootJitterFrac > 0 {
 		boot = time.Duration(float64(boot) * (1 + (p.Rand().Float64()*2-1)*pr.BootJitterFrac))
 	}
 	p.Sleep(boot)
+	// Re-pick after the boot wait so the instance lands in a zone that
+	// is still up at readiness; a zone that failed mid-boot would have
+	// rejected the request.
+	zone, err := pr.pickZone()
+	if err != nil {
+		return nil, err
+	}
 	inst := &Instance{
 		sim:       pr.sim,
 		itype:     it,
 		spot:      spot,
+		zone:      zone,
 		bootedAt:  pr.sim.Now(),
 		requested: pr.sim.Now() - boot,
 		cpus:      des.NewResource(pr.sim, int64(it.VCPUs)),
@@ -183,6 +255,7 @@ type Instance struct {
 	stopped   bool
 
 	spot      bool
+	zone      string
 	noticed   bool // preemption notice delivered, reclaim pending
 	preempted bool
 	onNotice  []func()
@@ -199,6 +272,9 @@ func (i *Instance) BootedAt() time.Duration { return i.bootedAt }
 
 // Spot reports whether the instance runs on interruptible capacity.
 func (i *Instance) Spot() bool { return i.spot }
+
+// Zone reports the placement domain the instance was provisioned in.
+func (i *Instance) Zone() string { return i.zone }
 
 // Stop halts the instance; billing stops here. Stop is idempotent.
 func (i *Instance) Stop() {
@@ -245,6 +321,24 @@ func (i *Instance) Preempt() {
 		i.preempted = true
 		i.Stop()
 	})
+}
+
+// Reclaim takes the instance away immediately: notice hooks fire, but
+// there is no warning window — the shape of a zone outage, where the
+// whole pool disappears at once. Idempotent; a no-op on stopped
+// instances.
+func (i *Instance) Reclaim() {
+	if i.stopped {
+		return
+	}
+	if !i.noticed {
+		i.noticed = true
+		for _, fn := range i.onNotice {
+			fn()
+		}
+	}
+	i.preempted = true
+	i.Stop()
 }
 
 // BilledDuration reports the billable lifetime: provisioning request
