@@ -17,10 +17,20 @@
 //	faasbench -experiment autoplan [-data 3.5]
 //	faasbench -experiment multijob [-data 3.5] [-jobs 3]
 //	faasbench -experiment gateway [-tenants 100] [-submissions 10000]
+//	faasbench -experiment gatewayscale [-tenants 10000] [-submissions 100000]
 //	faasbench -experiment chaos [-data 3.5] [-workers 8]
 //	faasbench -experiment zonechaos [-data 3.5] [-workers 8] [-seed 7]
 //	faasbench -experiment all
 //	faasbench -auto [-data 3.5]
+//
+// Any experiment can be profiled without editing code:
+//
+//	faasbench -experiment gatewayscale -cpuprofile cpu.out -memprofile mem.out
+//
+// writes pprof profiles covering the experiment run — the kernel and
+// gateway hot paths dominate exactly as they do in production use, so
+// `go tool pprof` on the output is the fastest way to find the next
+// simulator bottleneck.
 //
 // The -auto flag engages the cost-based strategy planner: it prints
 // the candidate decision table (strategy/config -> predicted time and
@@ -40,6 +50,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/faaspipe/faaspipe/internal/autoplan"
 	"github.com/faaspipe/faaspipe/internal/calib"
@@ -49,20 +61,59 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "table1",
-			"one of: table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, autoplan, multijob, gateway, chaos, zonechaos, all")
+			"one of: table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, autoplan, multijob, gateway, gatewayscale, chaos, zonechaos, all")
 		dataGB      = flag.Float64("data", 3.5, "dataset size in GB")
 		workers     = flag.Int("workers", 8, "parallelism degree")
 		seed        = flag.Int64("seed", 7, "arrival seed for the zonechaos Poisson soaks")
 		jobs        = flag.Int("jobs", 3, "submission count for the multijob experiment")
-		tenants     = flag.Int("tenants", 100, "tenant count for the gateway experiment")
-		submissions = flag.Int("submissions", 10000, "open-loop submission count for the gateway experiment")
+		tenants     = flag.Int("tenants", 0, "tenant count for the gateway experiments (0: per-experiment default)")
+		submissions = flag.Int("submissions", 0, "open-loop submission count for the gateway experiments (0: per-experiment default)")
 		trace       = flag.Bool("trace", false, "print per-stage timelines (table1)")
 		auto        = flag.Bool("auto", false,
 			"engage the auto-planner: print its decision table and add the auto-planned row to table1")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering the experiment run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	)
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faasbench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "faasbench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if err := run(*experiment, *dataGB, *workers, *jobs, *tenants, *submissions, *seed, *trace, *auto); err != nil {
+		// The deferred profile writers still run: a failed experiment's
+		// profile is often the one worth reading.
+		writeMemProfile(*memprofile)
+		pprof.StopCPUProfile()
 		fmt.Fprintln(os.Stderr, "faasbench:", err)
+		os.Exit(1)
+	}
+	writeMemProfile(*memprofile)
+}
+
+// writeMemProfile dumps the current heap profile (after a GC, so live
+// objects rather than allocation noise) to path; no-op for "".
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faasbench: memprofile:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "faasbench: memprofile:", err)
 		os.Exit(1)
 	}
 }
@@ -215,6 +266,14 @@ func run(experiment string, dataGB float64, workers, jobs, tenants, submissions 
 		fmt.Println(res)
 		return nil
 	}
+	gatewayScaleFn := func() error {
+		res, err := experiments.GatewayScale(profile, tenants, submissions)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	}
 	chaosFn := func() error {
 		res, err := experiments.ChaosMatrix(profile, dataBytes, workers)
 		if err != nil {
@@ -271,6 +330,8 @@ func run(experiment string, dataGB float64, workers, jobs, tenants, submissions 
 		return multijob()
 	case "gateway":
 		return gatewayFn()
+	case "gatewayscale":
+		return gatewayScaleFn()
 	case "chaos":
 		return chaosFn()
 	case "zonechaos":
@@ -281,7 +342,7 @@ func run(experiment string, dataGB float64, workers, jobs, tenants, submissions 
 		// autoplan experiment, decision table included), so re-running
 		// Table1Auto here would re-simulate the most expensive part of
 		// the sweep.
-		steps := []func() error{table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, multijob, gatewayFn, chaosFn, zoneChaosFn}
+		steps := []func() error{table1, threeway, workersweep, sizesweep, compression, throttle, faults, hierarchy, memsweep, costs, planner, multijob, gatewayFn, gatewayScaleFn, chaosFn, zoneChaosFn}
 		if !auto {
 			steps = append(steps, decide)
 		}

@@ -1,0 +1,145 @@
+package des
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The tests in this file pin the kernel's slot-recycling and
+// resumption semantics: the properties that make value Event handles
+// safe to hold forever and RunUntil safe to call repeatedly.
+
+// TestCancelAfterSlotRecycle holds a handle across its slot's reuse:
+// once the first event fires, its slot goes back on the free list and
+// the next Schedule takes it over. The stale handle's generation no
+// longer matches, so Cancel must be a no-op against the new tenant.
+func TestCancelAfterSlotRecycle(t *testing.T) {
+	s := New(1)
+	var second bool
+	e1 := s.Schedule(time.Second, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	e2 := s.Schedule(2*time.Second, func() { second = true })
+	if e2.slot != e1.slot {
+		t.Fatalf("second event took slot %d, want recycled slot %d", e2.slot, e1.slot)
+	}
+	e1.Cancel() // stale: must not touch e2
+	if at := e1.At(); at != 0 {
+		t.Fatalf("stale handle At() = %v, want 0", at)
+	}
+	if at := e2.At(); at != 2*time.Second {
+		t.Fatalf("live handle At() = %v, want 2s", at)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !second {
+		t.Fatal("event sharing a recycled slot was killed by a stale Cancel")
+	}
+}
+
+// TestZeroEventIsInert exercises the documented zero-value contract.
+func TestZeroEventIsInert(t *testing.T) {
+	var e Event
+	e.Cancel()
+	if at := e.At(); at != 0 {
+		t.Fatalf("zero Event At() = %v, want 0", at)
+	}
+}
+
+// TestRunUntilResumes drives the horizon forward in steps: an event
+// beyond one horizon must survive on the heap and fire under the next.
+// (A pop-then-check loop would silently drop the first event past each
+// horizon; the kernel peeks before popping.)
+func TestRunUntilResumes(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	for _, at := range []time.Duration{time.Second, time.Minute, time.Hour} {
+		at := at
+		s.Schedule(at, func() { fired = append(fired, at) })
+	}
+	if err := s.RunUntil(2 * time.Second); !errors.Is(err, ErrSimLimit) {
+		t.Fatalf("RunUntil(2s) = %v, want ErrSimLimit", err)
+	}
+	if len(fired) != 1 || fired[0] != time.Second {
+		t.Fatalf("after first horizon fired = %v, want [1s]", fired)
+	}
+	if err := s.RunUntil(30 * time.Minute); !errors.Is(err, ErrSimLimit) {
+		t.Fatalf("RunUntil(30m) = %v, want ErrSimLimit", err)
+	}
+	if len(fired) != 2 || fired[1] != time.Minute {
+		t.Fatalf("after second horizon fired = %v, want [1s 1m]", fired)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("final Run: %v", err)
+	}
+	if len(fired) != 3 || fired[2] != time.Hour {
+		t.Fatalf("after final run fired = %v, want [1s 1m 1h]", fired)
+	}
+	if s.Now() != time.Hour {
+		t.Fatalf("Now = %v, want 1h", s.Now())
+	}
+}
+
+// TestMassCancelCompaction cancels most of a large heap and checks the
+// survivors still fire in exact (at, seq) order afterward — the
+// compaction sweep must rebuild a valid heap and drop only dead slots.
+func TestMassCancelCompaction(t *testing.T) {
+	s := New(1)
+	const n = 4096
+	handles := make([]Event, n)
+	var fired []int
+	for i := 0; i < n; i++ {
+		i := i
+		handles[i] = s.Schedule(time.Duration(i)*time.Millisecond, func() { fired = append(fired, i) })
+	}
+	for i := 0; i < n; i++ {
+		if i%8 != 3 { // keep every 8th
+			handles[i].Cancel()
+		}
+	}
+	if p := s.Pending(); p != n/8 {
+		t.Fatalf("Pending = %d after mass cancel, want %d", p, n/8)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != n/8 {
+		t.Fatalf("fired %d events, want %d", len(fired), n/8)
+	}
+	for j, i := range fired {
+		if want := j*8 + 3; i != want {
+			t.Fatalf("fired[%d] = %d, want %d (order broken after compaction)", j, i, want)
+		}
+	}
+}
+
+// TestDeadlockManyParkedProcs parks ten thousand processes with no
+// waker: the drained kernel must report every one of them, at a scale
+// where per-proc bookkeeping mistakes (lost entries, quadratic
+// collection) would surface.
+func TestDeadlockManyParkedProcs(t *testing.T) {
+	s := New(1)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		s.Spawn(fmt.Sprintf("parked-%05d", i), func(p *Proc) { p.Park() })
+	}
+	err := s.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("Run = %v, want DeadlockError", err)
+	}
+	if len(dl.Parked) != n {
+		t.Fatalf("DeadlockError lists %d parked procs, want %d", len(dl.Parked), n)
+	}
+	seen := make(map[string]bool, n)
+	for _, name := range dl.Parked {
+		if seen[name] {
+			t.Fatalf("proc %q reported twice", name)
+		}
+		seen[name] = true
+	}
+}

@@ -30,7 +30,7 @@ type linkFlow struct {
 	rate      float64
 	last      time.Duration
 	proc      *Proc
-	doneEv    *Event
+	doneEv    Event
 	finished  bool
 }
 
@@ -135,7 +135,7 @@ func (l *Link) reshare() {
 	for i, f := range ordered {
 		f.rate = rates[i]
 		f.doneEv.Cancel()
-		f.doneEv = nil
+		f.doneEv = Event{}
 		if f.remaining <= 0.5 || math.IsInf(f.rate, 1) {
 			ff := f
 			f.doneEv = l.sim.Schedule(l.sim.Now(), func() { l.finish(ff) })
@@ -172,7 +172,7 @@ func (l *Link) finish(f *linkFlow) {
 		return
 	}
 	f.finished = true
-	f.doneEv = nil
+	f.doneEv = Event{}
 	delete(l.flows, f)
 	f.proc.Wake()
 	l.reshare()

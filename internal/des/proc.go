@@ -19,11 +19,16 @@ type Proc struct {
 	sim  *Sim
 	name string
 
-	resume    chan struct{}
-	wake      *Event
-	suspended bool
-	killed    bool
-	done      bool
+	resume chan struct{}
+	// wake is the handle of the pending activation event, if any; the
+	// zero Event means none. activateFn is the activate method value,
+	// bound once at Spawn so the Sleep/Wake hot path does not allocate
+	// a fresh closure per suspension.
+	wake       Event
+	activateFn func()
+	suspended  bool
+	killed     bool
+	done       bool
 }
 
 // Spawn creates a process that begins executing fn at the current
@@ -35,6 +40,7 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 		name:   name,
 		resume: make(chan struct{}),
 	}
+	p.activateFn = p.activate
 	s.live[p] = struct{}{}
 	go func() {
 		defer func() {
@@ -52,7 +58,7 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 		fn(p)
 	}()
 	p.suspended = true
-	p.wake = s.Schedule(s.now, p.activate)
+	p.wake = s.Schedule(s.now, p.activateFn)
 	return p
 }
 
@@ -66,7 +72,7 @@ func asErr(v any) error {
 // activate hands execution to the process and blocks until it yields
 // back (suspends or terminates). It runs in scheduler context.
 func (p *Proc) activate() {
-	p.wake = nil
+	p.wake = Event{}
 	p.suspended = false
 	p.resume <- struct{}{}
 	<-p.sim.yield
@@ -106,7 +112,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.wake = p.sim.After(d, p.activate)
+	p.wake = p.sim.After(d, p.activateFn)
 	p.suspend()
 }
 
@@ -122,10 +128,10 @@ func (p *Proc) Park() {
 // time. Waking a process that is running, already scheduled to wake,
 // or finished is a no-op, so callers may wake defensively.
 func (p *Proc) Wake() {
-	if p.done || !p.suspended || p.wake != nil {
+	if p.done || !p.suspended || p.wake.pending() {
 		return
 	}
-	p.wake = p.sim.Schedule(p.sim.now, p.activate)
+	p.wake = p.sim.Schedule(p.sim.now, p.activateFn)
 }
 
 // WaitGroup synchronizes processes on a counter, like sync.WaitGroup

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/faaspipe/faaspipe/internal/calib"
+	"github.com/faaspipe/faaspipe/internal/core"
+	"github.com/faaspipe/faaspipe/internal/des"
+	"github.com/faaspipe/faaspipe/internal/gateway"
+	"github.com/faaspipe/faaspipe/internal/session"
+)
+
+// The gateway scale experiment: one order of magnitude past the
+// 100-tenant mix, on the path to the million-user north star. It
+// exists to prove the two rebuilt hot paths at size — the DES kernel's
+// inline 4-ary event heap and the gateway's O(active) runnable-ring
+// dispatch — so alongside the usual fairness/attribution invariants it
+// reports the simulator's own throughput (fired events per wall-clock
+// second), the metric the kernel benchmarks gate.
+const (
+	gwScaleArrivalPerSec = 2000.0                // open-loop aggregate arrival rate
+	gwScaleServiceMean   = 40 * time.Millisecond // exp-distributed job occupancy
+	gwScaleMaxQueueWait  = 10 * time.Second      // standard-class shed deadline
+)
+
+// GatewayScaleResult is the outcome of one scaled run.
+type GatewayScaleResult struct {
+	Tenants     int
+	Submissions int
+
+	Admitted  int64
+	Completed int64
+	Shed      int64
+
+	// Makespan is virtual time first-arrival to last-completion;
+	// Throughput is completions over that window (jobs/virtual-s).
+	Makespan   time.Duration
+	Throughput float64
+
+	// Rounds / Starved are the fair-share scheduler's counters; Starved
+	// must be zero.
+	Rounds  int64
+	Starved int64
+
+	// AttributedUSD (the sum of tenant ledgers) must equal SessionUSD
+	// (the fronted session's own closing bill) to rounding.
+	AttributedUSD float64
+	SessionUSD    float64
+
+	// Events is the number of simulation events the run fired; Wall is
+	// the real time the run took; EventsPerSec is their ratio — the
+	// kernel-throughput headline.
+	Events       int64
+	Wall         time.Duration
+	EventsPerSec float64
+}
+
+// GatewayScale pushes an open-loop arrival stream across a large
+// registered tenant population through the admission gateway on one
+// shared session (defaults: 10000 tenants, 100000 submissions). Every
+// tenant is registered up front — most stay idle at any instant, which
+// is exactly the regime the runnable-ring dispatch must not pay for.
+func GatewayScale(profile calib.Profile, tenants, submissions int) (GatewayScaleResult, error) {
+	if tenants <= 0 {
+		tenants = 10000
+	}
+	if submissions <= 0 {
+		submissions = 100000
+	}
+	res := GatewayScaleResult{Tenants: tenants, Submissions: submissions}
+
+	sess, err := session.Open(profile, session.Options{WarmCacheNodes: 1})
+	if err != nil {
+		return res, fmt.Errorf("experiments: gateway scale open: %w", err)
+	}
+	auth := gateway.HMACAuth{Secret: []byte("gateway-scale")}
+	g := gateway.New(sess, auth, gateway.Options{MaxConcurrent: 256})
+
+	creds := make([]gateway.Credential, tenants)
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("t%06d", i)
+		creds[i] = gateway.Credential{TenantID: id, MAC: auth.Tag(id)}
+		cfg := gateway.TenantConfig{Weight: 1, MaxConcurrent: 4, MaxQueued: 64,
+			MaxQueueWait: gwScaleMaxQueueWait}
+		if i%10 == 0 { // a premium decile, so rounds exercise weights
+			cfg.Weight = 4
+			cfg.MaxConcurrent = 8
+			cfg.MaxQueueWait = 0
+		}
+		if err := g.RegisterTenant(id, cfg); err != nil {
+			return res, err
+		}
+	}
+
+	rig := sess.Rig()
+	var (
+		tickets  []*gateway.Ticket
+		driveErr error
+	)
+	rig.Sim.Spawn("open-loop", func(p *des.Proc) {
+		rng := p.Rand()
+		for i := 0; i < submissions; i++ {
+			p.Sleep(time.Duration(rng.ExpFloat64() * float64(time.Second) / gwScaleArrivalPerSec))
+			ti := rng.Intn(tenants)
+			occupy := time.Duration(rng.ExpFloat64() * float64(gwScaleServiceMean))
+			tk, err := g.Submit(p, creds[ti], gwScaleJob(occupy))
+			if err != nil {
+				if errors.Is(err, gateway.ErrQueueFull) || errors.Is(err, gateway.ErrRateLimited) {
+					continue // rejection is load shedding, not failure
+				}
+				driveErr = err
+				return
+			}
+			tickets = append(tickets, tk)
+		}
+		g.Drain(p)
+	})
+	start := time.Now()
+	if err := rig.Sim.Run(); err != nil {
+		return res, fmt.Errorf("experiments: gateway scale sim: %w", err)
+	}
+	res.Wall = time.Since(start)
+	res.Events = rig.Sim.Fired()
+	if res.Wall > 0 {
+		res.EventsPerSec = float64(res.Events) / res.Wall.Seconds()
+	}
+	if driveErr != nil {
+		return res, fmt.Errorf("experiments: gateway scale: %w", driveErr)
+	}
+
+	var first, last time.Duration
+	for i, tk := range tickets {
+		if !tk.Done() {
+			return res, fmt.Errorf("experiments: gateway scale ticket %d not done after drain", i)
+		}
+		if i == 0 || tk.Submitted < first {
+			first = tk.Submitted
+		}
+		if tk.Finished > last {
+			last = tk.Finished
+		}
+	}
+	res.Makespan = last - first
+	rep, err := g.Close()
+	if err != nil {
+		return res, err
+	}
+	for _, ts := range rep.Tenants {
+		res.Admitted += ts.Admitted
+		res.Completed += ts.Completed
+		res.Shed += ts.Shed
+	}
+	if res.Makespan > 0 {
+		res.Throughput = float64(res.Completed) / res.Makespan.Seconds()
+	}
+	res.Rounds = rep.Rounds
+	res.Starved = rep.Starved
+	res.AttributedUSD = rep.AttributedUSD
+	res.SessionUSD = rep.Session.TotalUSD
+	return res, nil
+}
+
+// gwScaleJob occupies the rig for the drawn service time. No result
+// object: the scale run measures kernel and dispatch throughput, so
+// the workload stays off the store's links.
+func gwScaleJob(occupy time.Duration) session.Job {
+	w := core.NewWorkflow("gwscale")
+	if err := w.Add(&core.FuncStage{StageName: "work", Fn: func(ctx *core.StageContext) error {
+		ctx.Proc.Sleep(occupy)
+		return nil
+	}}); err != nil {
+		panic(err) // static workflow construction cannot fail
+	}
+	return session.WorkflowJob(w, nil)
+}
+
+// String renders the experiment.
+func (r GatewayScaleResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Gateway at scale: %d tenants, %d open-loop submissions (λ=%.0f/s, service exp(%s))\n",
+		r.Tenants, r.Submissions, gwScaleArrivalPerSec, gwScaleServiceMean)
+	fmt.Fprintf(&b, "admitted %d, completed %d, shed %d; %.0f jobs/s over %.1fs virtual\n",
+		r.Admitted, r.Completed, r.Shed, r.Throughput, r.Makespan.Seconds())
+	fmt.Fprintf(&b, "fair share: %d DRR rounds, %d starved\n", r.Rounds, r.Starved)
+	fmt.Fprintf(&b, "attribution: tenant ledgers $%.4f vs session bill $%.4f\n", r.AttributedUSD, r.SessionUSD)
+	fmt.Fprintf(&b, "kernel: %d events in %.2fs wall = %.2fM events/s\n",
+		r.Events, r.Wall.Seconds(), r.EventsPerSec/1e6)
+	return b.String()
+}

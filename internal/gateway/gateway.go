@@ -117,6 +117,10 @@ type tenant struct {
 	pending  []*Ticket
 	inflight int
 
+	// runnable marks the tenant as a member of the scheduler's
+	// runnable ring (it has pending work the DRR rounds must cover).
+	runnable bool
+
 	// deficit is the tenant's unspent credit in the current DRR round;
 	// pendingAtRoundStart / launchedInRound drive the starvation
 	// invariant check.
@@ -138,8 +142,22 @@ type Gateway struct {
 	store *objectstore.Client
 
 	tenants map[string]*tenant
-	order   []*tenant // registration order: the DRR visiting order
-	rrPos   int       // round-robin scan cursor within a round
+	order   []*tenant // registration order: for reporting
+
+	// runnable is the DRR ring: only tenants with pending work, in the
+	// order they became runnable. Dispatch, crediting, and starvation
+	// accounting touch this ring exclusively, so scheduling cost
+	// follows the active population, not the registration table —
+	// 100k registered-but-idle tenants cost dispatch nothing.
+	runnable []*tenant
+	rrPos    int // round-robin scan cursor within a round
+
+	// deadlines orders every pending ticket of a MaxQueueWait tenant
+	// by shed deadline, so dispatch sheds exactly the overdue tickets
+	// instead of sweeping all registered tenants' queues. shedSeq is
+	// the FIFO tie-break for equal deadlines.
+	deadlines deadlineHeap
+	shedSeq   int64
 
 	pendingTotal int
 	active       int
@@ -204,6 +222,7 @@ type Ticket struct {
 	Finished  time.Duration
 
 	job     session.Job
+	queued  bool // still in its tenant's pending queue
 	done    bool
 	rep     *core.RunReport
 	err     error
@@ -265,12 +284,34 @@ func (g *Gateway) Submit(p *des.Proc, cred Credential, job session.Job) (*Ticket
 		t.stats.RejectedQueue++
 		return nil, fmt.Errorf("gateway: tenant %q: %w", t.id, ErrQueueFull)
 	}
-	tk := &Ticket{Tenant: t.id, Submitted: p.Now(), job: job}
+	tk := &Ticket{Tenant: t.id, Submitted: p.Now(), job: job, queued: true}
 	t.pending = append(t.pending, tk)
 	g.pendingTotal++
 	t.stats.Admitted++
+	g.enterRunnable(t)
+	if t.cfg.MaxQueueWait > 0 {
+		g.shedSeq++
+		g.deadlines.push(tk.Submitted+t.cfg.MaxQueueWait, g.shedSeq, tk)
+	}
 	g.dispatch()
 	return tk, nil
+}
+
+// enterRunnable admits a tenant into the DRR ring when its first
+// pending ticket arrives. Entry grants at least one round's credit
+// (capped by the usual two-round bank) so a freshly-woken tenant is
+// dispatchable without waiting out the in-progress round; under
+// contention tenants never leave the ring, so the grant cannot be
+// farmed for extra share.
+func (g *Gateway) enterRunnable(t *tenant) {
+	if t.runnable {
+		return
+	}
+	t.runnable = true
+	if w := float64(t.cfg.Weight); t.deficit < w {
+		t.deficit = w
+	}
+	g.runnable = append(g.runnable, t)
 }
 
 // admitTenant resolves a credential to a registered tenant.
@@ -291,6 +332,7 @@ func (g *Gateway) admitTenant(cred Credential) (*tenant, error) {
 func (g *Gateway) launch(t *tenant) {
 	tk := t.pending[0]
 	t.pending = t.pending[1:]
+	tk.queued = false
 	g.pendingTotal--
 	t.inflight++
 	t.launchedInRound++
