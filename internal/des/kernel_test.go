@@ -84,6 +84,74 @@ func TestRunUntilResumes(t *testing.T) {
 	}
 }
 
+// runWithWatchdog runs fn, failing the test after a wall-clock timeout
+// instead of hanging the whole suite — the failure mode under test is
+// a kernel that blocks forever.
+func runWithWatchdog(t *testing.T, fn func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not complete: kernel hung (orphaned wake event?)")
+		return nil
+	}
+}
+
+// TestRunUntilResumesPastKilledSleeper pins the interaction between the
+// two shutdown contracts: RunUntil leaves past-horizon events on the
+// heap for resumption, while killLive unwinds every suspended process.
+// A killed sleeper's wake event must not survive to a later run — if it
+// did, its activate() would block forever sending to a goroutine that
+// no longer exists. Bare events past the horizon must still resume.
+func TestRunUntilResumesPastKilledSleeper(t *testing.T) {
+	s := New(1)
+	var awoke, lateFired bool
+	s.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(10 * time.Second)
+		awoke = true
+	})
+	s.Schedule(8*time.Second, func() { lateFired = true })
+	if err := s.RunUntil(5 * time.Second); !errors.Is(err, ErrSimLimit) {
+		t.Fatalf("RunUntil(5s) = %v, want ErrSimLimit", err)
+	}
+	if err := runWithWatchdog(t, s.Run); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	if awoke {
+		t.Fatal("killed sleeper's body ran after resumption")
+	}
+	if !lateFired {
+		t.Fatal("bare event past the horizon was dropped")
+	}
+}
+
+// TestMaxEventsKillsSleeperWake is the same orphaned-wake hazard via
+// the MaxEvents limit path: the limit trips with a process asleep, and
+// a later Run must drain cleanly rather than activating the corpse.
+func TestMaxEventsKillsSleeperWake(t *testing.T) {
+	s := New(1)
+	var awoke bool
+	s.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(time.Second) // spawn activation counts as event #1
+		awoke = true
+	})
+	s.Schedule(0, func() {})
+	s.MaxEvents = 2
+	if err := s.Run(); !errors.Is(err, ErrSimLimit) {
+		t.Fatalf("Run with MaxEvents=2 = %v, want ErrSimLimit", err)
+	}
+	s.MaxEvents = 0
+	if err := runWithWatchdog(t, s.Run); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	if awoke {
+		t.Fatal("killed sleeper's body ran after resumption")
+	}
+}
+
 // TestMassCancelCompaction cancels most of a large heap and checks the
 // survivors still fire in exact (at, seq) order afterward — the
 // compaction sweep must rebuild a valid heap and drop only dead slots.

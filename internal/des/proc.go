@@ -70,8 +70,15 @@ func asErr(v any) error {
 }
 
 // activate hands execution to the process and blocks until it yields
-// back (suspends or terminates). It runs in scheduler context.
+// back (suspends or terminates). It runs in scheduler context. The
+// done/killed guard is defense in depth: killLive cancels a victim's
+// wake event, so an activation for a dead process should never fire —
+// but if one ever does, dropping it beats blocking forever on the
+// resume send to an exited goroutine.
 func (p *Proc) activate() {
+	if p.done || p.killed {
+		return
+	}
 	p.wake = Event{}
 	p.suspended = false
 	p.resume <- struct{}{}

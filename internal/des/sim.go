@@ -88,7 +88,11 @@ func (e Event) Cancel() {
 }
 
 // At reports the virtual time the event is scheduled for; zero if the
-// handle is stale (the event fired or was canceled).
+// handle is stale (the event fired or was canceled). Note the zero
+// return is ambiguous for an event legitimately scheduled at virtual
+// time zero — a caller that must distinguish the two should consult
+// the handle before the simulation first advances, or track liveness
+// itself.
 func (e Event) At() time.Duration {
 	if e.s == nil {
 		return 0
@@ -460,6 +464,12 @@ func (s *Sim) RunUntil(limit time.Duration) error {
 // panic with errKilled, which the process wrapper swallows. Processes
 // that were spawned but whose start event never fired are discarded
 // without ever starting their goroutine's body.
+//
+// A victim's pending wake event (a Sleep timer, a Wake, or the Spawn
+// activation) must be canceled here: RunUntil leaves future events on
+// the heap for resumption, and an orphaned activate firing on a later
+// run would block forever sending to a goroutine that no longer
+// exists.
 func (s *Sim) killLive() {
 	for len(s.live) > 0 {
 		var victim *Proc
@@ -467,6 +477,8 @@ func (s *Sim) killLive() {
 			victim = p
 			break
 		}
+		victim.wake.Cancel()
+		victim.wake = Event{}
 		victim.killed = true
 		victim.resume <- struct{}{}
 		<-s.yield

@@ -155,9 +155,13 @@ type Gateway struct {
 	// deadlines orders every pending ticket of a MaxQueueWait tenant
 	// by shed deadline, so dispatch sheds exactly the overdue tickets
 	// instead of sweeping all registered tenants' queues. shedSeq is
-	// the FIFO tie-break for equal deadlines.
-	deadlines deadlineHeap
-	shedSeq   int64
+	// the FIFO tie-break for equal deadlines; deadlineDead counts
+	// entries whose ticket launched before its deadline surfaced, so
+	// compaction can drop them before they pin memory for a long
+	// MaxQueueWait.
+	deadlines    deadlineHeap
+	shedSeq      int64
+	deadlineDead int
 
 	pendingTotal int
 	active       int
@@ -333,6 +337,12 @@ func (g *Gateway) launch(t *tenant) {
 	tk := t.pending[0]
 	t.pending = t.pending[1:]
 	tk.queued = false
+	if t.cfg.MaxQueueWait > 0 {
+		// The ticket's deadline entry is now dead weight; count it so
+		// compaction can reclaim it before shedStale would.
+		g.deadlineDead++
+		g.maybeCompactDeadlines()
+	}
 	g.pendingTotal--
 	t.inflight++
 	t.launchedInRound++

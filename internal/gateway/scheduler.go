@@ -76,7 +76,8 @@ func (g *Gateway) shedStale() {
 		g.deadlines.pop()
 		tk := top.tk
 		if !tk.queued {
-			continue // launched (or already shed) before the deadline
+			g.deadlineDead-- // launched before the deadline; entry was dead
+			continue
 		}
 		t := g.tenants[tk.Tenant]
 		for i, q := range t.pending {
@@ -172,10 +173,62 @@ type deadlineEnt struct {
 }
 
 // deadlineHeap is a binary min-heap over (deadline, admission seq).
-// Entries are never removed when a ticket launches — shedStale skips
+// Entries are not removed when a ticket launches — shedStale skips
 // non-queued tickets when they surface — so push/pop stay O(log
-// pending) with no bookkeeping on the launch path.
+// pending) with only a counter increment on the launch path. Dead
+// entries are swept out by maybeCompactDeadlines once they dominate
+// the heap, so a long MaxQueueWait under high throughput cannot pin
+// launched tickets (and their job payloads) far beyond the actual
+// pending count.
 type deadlineHeap []deadlineEnt
+
+// maybeCompactDeadlines rebuilds the deadline heap without entries for
+// already-launched tickets once they outnumber the live ones (and are
+// numerous enough to matter) — the same lazy-deletion bargain as the
+// DES kernel's event heap. The (deadline, seq) order of survivors is
+// untouched.
+func (g *Gateway) maybeCompactDeadlines() {
+	if g.deadlineDead < 64 || g.deadlineDead*2 < len(g.deadlines) {
+		return
+	}
+	old := g.deadlines
+	kept := old[:0]
+	for _, ent := range old {
+		if ent.tk.queued {
+			kept = append(kept, ent)
+		}
+	}
+	for i := len(kept); i < len(old); i++ {
+		old[i] = deadlineEnt{} // release the dropped tickets
+	}
+	g.deadlines = kept
+	g.deadlineDead = 0
+	// Floyd heapify: sift down every internal node, last parent first.
+	for i := len(kept)/2 - 1; i >= 0; i-- {
+		kept.siftDown(i)
+	}
+}
+
+// siftDown restores the heap property below index i.
+func (h deadlineHeap) siftDown(i int) {
+	n := len(h)
+	ent := h[i]
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && entBefore(h[c+1], h[c]) {
+			c++
+		}
+		if !entBefore(h[c], ent) {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	h[i] = ent
+}
 
 func (h *deadlineHeap) push(at time.Duration, seq int64, tk *Ticket) {
 	g := *h

@@ -1,0 +1,55 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDeadlineHeapCompaction pins the deadline heap's memory behavior:
+// entries for tickets that launched before their deadline surfaced are
+// dead weight, and once they dominate the heap a compaction sweep must
+// drop them (so a long MaxQueueWait cannot pin launched tickets far
+// beyond the pending count) without disturbing the (deadline, seq)
+// order of the survivors.
+func TestDeadlineHeapCompaction(t *testing.T) {
+	g := &Gateway{}
+	const n = 512
+	tks := make([]*Ticket, n)
+	for i := 0; i < n; i++ {
+		tks[i] = &Ticket{queued: true}
+		g.shedSeq++
+		// Decreasing deadlines so every push sifts to the root.
+		g.deadlines.push(time.Duration(n-i)*time.Second, g.shedSeq, tks[i])
+	}
+	// "Launch" all but every 8th ticket, with the same bookkeeping as
+	// the launch path.
+	for i, tk := range tks {
+		if i%8 == 3 {
+			continue
+		}
+		tk.queued = false
+		g.deadlineDead++
+		g.maybeCompactDeadlines()
+	}
+	if len(g.deadlines) >= n/2 {
+		t.Fatalf("deadline heap holds %d entries after %d launches, want < %d (compaction never ran)",
+			len(g.deadlines), n-n/8, n/2)
+	}
+	var last deadlineEnt
+	live := 0
+	for first := true; len(g.deadlines) > 0; first = false {
+		top := g.deadlines[0]
+		g.deadlines.pop()
+		if !first && entBefore(top, last) {
+			t.Fatalf("heap order broken after compaction: (%v, %d) surfaced after (%v, %d)",
+				top.at, top.seq, last.at, last.seq)
+		}
+		last = top
+		if top.tk.queued {
+			live++
+		}
+	}
+	if live != n/8 {
+		t.Fatalf("drained %d still-queued entries, want %d", live, n/8)
+	}
+}
